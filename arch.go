@@ -1,0 +1,103 @@
+// Package eclipse is the public API of the Eclipse architecture model: a
+// reproduction of "Eclipse: A Heterogeneous Multiprocessor Architecture
+// for Flexible Media Processing" (Rutten et al., IPPS 2002).
+//
+// An Eclipse instance is assembled from an Arch description (memories,
+// shell template parameters, cost calibration). Applications are Kahn
+// process-network graphs (package kpn) mapped onto the instance's
+// multi-tasking coprocessors; the same graph can also execute
+// functionally (untimed, goroutines and channels) for reference output.
+//
+// Typical use:
+//
+//	sys := eclipse.NewSystem(eclipse.Fig8())
+//	app, err := sys.AddDecodeApp("dec", bitstream, eclipse.DecodeOptions{})
+//	cycles, err := sys.Run(0)
+//	frames := app.Sink.Frames
+package eclipse
+
+import (
+	"eclipse/internal/copro"
+	"eclipse/internal/mem"
+	"eclipse/internal/shell"
+)
+
+// Arch describes an Eclipse instance: the template parameters of paper
+// Section 3 plus the cost calibration of the coprocessor models.
+type Arch struct {
+	// SRAM is the on-chip communication memory holding stream buffers.
+	SRAM mem.Config
+	// DRAM is the off-chip memory behind the system bus (bit-streams,
+	// reference frames).
+	DRAM mem.Config
+	// Shell is the shell template; every coprocessor's shell is derived
+	// from it (Name is overridden per instance).
+	Shell shell.Config
+	// ShellOverride customizes individual coprocessors' shells by name.
+	ShellOverride map[string]shell.Config
+	// Costs calibrates the coprocessor computation models.
+	Costs copro.Costs
+	// SampleInterval is the measurement sampling period in cycles
+	// (Section 5.4); 0 uses a default.
+	SampleInterval uint64
+	// DistributedStreams selects the distributed communication-memory
+	// organization of the paper's Section 6 tradeoff: every stream buffer
+	// gets a dedicated local bank (latency 1, no cross-stream contention)
+	// instead of living in the shared central SRAM. More performant and
+	// scalable, less flexible (capacity fixed per stream at design time).
+	DistributedStreams bool
+}
+
+// Fig8 returns the paper's first instance (Figure 8): VLD, RLSQ, DCT and
+// MC/ME coprocessors plus a media-processor (CPU) shell, a 32 kB wide
+// dual-bus stream SRAM, and off-chip memory behind a high-latency system
+// bus. All cycle figures are in 150 MHz coprocessor cycles.
+func Fig8() Arch {
+	return Arch{
+		SRAM:           mem.Fig8SRAM(),
+		DRAM:           mem.Fig8DRAM(),
+		Shell:          shell.DefaultConfig(""),
+		Costs:          copro.DefaultCosts(),
+		SampleInterval: 256,
+	}
+}
+
+// CoproNames lists the computation resources of the Figure 8 instance.
+// "cpu" is the programmable media processor executing software tasks.
+var CoproNames = []string{"vld", "rlsq", "dct", "mc", "cpu"}
+
+// shellConfig derives the shell configuration for a named coprocessor.
+func (a *Arch) shellConfig(name string) shell.Config {
+	cfg := a.Shell
+	if ov, ok := a.ShellOverride[name]; ok {
+		cfg = ov
+	}
+	cfg.Name = name
+	return cfg
+}
+
+// DefaultDecodeMapping maps the decode graph's Kahn functions onto the
+// Figure 8 coprocessors (Figure 3's application-to-architecture mapping).
+var DefaultDecodeMapping = map[string]string{
+	"bitsrc": "cpu",
+	"vld":    "vld",
+	"rlsq":   "rlsq",
+	"idct":   "dct",
+	"mc":     "mc",
+	"sink":   "cpu",
+}
+
+// DefaultEncodeMapping maps the encode graph's Kahn functions onto the
+// same coprocessors: the DCT coprocessor time-shares forward and inverse
+// transforms, the RLSQ quantization and dequantization, and the MC/ME
+// coprocessor estimation and reconstruction — the reuse flexibility the
+// paper motivates in Section 2.1.
+var DefaultEncodeMapping = map[string]string{
+	"me":   "mc",
+	"fdct": "dct",
+	"q":    "rlsq",
+	"iq":   "rlsq",
+	"idct": "dct",
+	"mcr":  "mc",
+	"vle":  "cpu",
+}

@@ -1,0 +1,97 @@
+// Command eclipse-sim runs an Eclipse instance described by a setup file:
+// it assembles the architecture, generates and maps the described
+// applications, simulates to completion, verifies every application's
+// output against its reference implementation, and prints the Figure 9
+// style performance report.
+//
+// Usage:
+//
+//	eclipse-sim [-setup file] [-limit cycles] [-charts] [-csv file] [-print-example]
+//
+// Without -setup the built-in example configuration is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eclipse"
+)
+
+func main() {
+	setupPath := flag.String("setup", "", "setup file (default: built-in example)")
+	limit := flag.Uint64("limit", 0, "cycle limit (0 = unlimited)")
+	charts := flag.Bool("charts", false, "render ASCII charts of all trace series")
+	csvPath := flag.String("csv", "", "write trace series to a CSV file")
+	printExample := flag.Bool("print-example", false, "print the example setup file and exit")
+	flag.Parse()
+
+	if *printExample {
+		fmt.Print(eclipse.ExampleSetup)
+		return
+	}
+
+	var src *os.File
+	if *setupPath == "" {
+		fmt.Fprintln(os.Stderr, "eclipse-sim: using built-in example setup (see -print-example)")
+	} else {
+		f, err := os.Open(*setupPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	var sys *eclipse.System
+	var apps []*eclipse.SetupApp
+	var err error
+	if src != nil {
+		sys, apps, err = eclipse.LoadSetup(src)
+	} else {
+		sys, apps, err = eclipse.LoadSetupString(eclipse.ExampleSetup)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cycles, err := sys.Run(*limit)
+	if err != nil {
+		fail(fmt.Errorf("simulation failed at cycle %d: %w", cycles, err))
+	}
+	fmt.Printf("simulation finished at cycle %d (%.3f ms at 150 MHz)\n\n",
+		cycles, float64(cycles)/150e6*1e3)
+
+	for _, app := range apps {
+		if err := app.Verify(); err != nil {
+			fail(fmt.Errorf("app %s: output verification failed: %w", app.Name, err))
+		}
+		fmt.Printf("app %-8s (%s): output verified against reference\n", app.Name, app.Kind)
+	}
+	fmt.Println()
+	sys.WriteReport(os.Stdout)
+
+	if *charts {
+		fmt.Println()
+		sys.WriteCharts(os.Stdout)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sys.WriteTraceCSV(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ntrace series written to %s\n", *csvPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "eclipse-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command eclipse-viz renders trace CSV files (as written by
+// eclipse-sim -csv or System.WriteTraceCSV) as ASCII charts — the
+// textual counterpart of the paper's Figure 9/10 performance viewer.
+// The viewer is deliberately decoupled from the simulator (Section 7):
+// it works on any CSV in `cycle,series,value` long form.
+//
+// Usage:
+//
+//	eclipse-viz -csv trace.csv [-series name]... [-list] [-w cols] [-h rows]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"eclipse/internal/trace"
+	"eclipse/internal/viz"
+)
+
+type seriesFlag []string
+
+func (s *seriesFlag) String() string { return strings.Join(*s, ",") }
+func (s *seriesFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	csvPath := flag.String("csv", "", "trace CSV file (required)")
+	list := flag.Bool("list", false, "list available series and exit")
+	width := flag.Int("w", 72, "chart width in columns")
+	height := flag.Int("h", 12, "chart height in rows")
+	var names seriesFlag
+	flag.Var(&names, "series", "series to render (repeatable; default: all)")
+	flag.Parse()
+
+	if *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "eclipse-viz: -csv is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	series, err := loadCSV(*csvPath)
+	if err != nil {
+		fail(err)
+	}
+	all := make([]string, 0, len(series))
+	for n := range series {
+		all = append(all, n)
+	}
+	sort.Strings(all)
+	if *list {
+		for _, n := range all {
+			fmt.Printf("%s (%d samples)\n", n, len(series[n].X))
+		}
+		return
+	}
+	want := []string(names)
+	if len(want) == 0 {
+		want = all
+	}
+	chart := viz.Chart{Width: *width, Height: *height}
+	for _, n := range want {
+		s, ok := series[n]
+		if !ok {
+			fail(fmt.Errorf("no series %q (use -list)", n))
+		}
+		fmt.Print(chart.Render(s, ""))
+		fmt.Println()
+	}
+}
+
+// loadCSV parses a long-form trace CSV file into series.
+func loadCSV(path string) (map[string]*trace.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	series, err := trace.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return series, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "eclipse-viz:", err)
+	os.Exit(1)
+}

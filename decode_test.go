@@ -1,0 +1,223 @@
+package eclipse
+
+import (
+	"strings"
+	"testing"
+
+	"eclipse/internal/media"
+)
+
+// encodeSequence produces a test bitstream plus the source frames.
+func encodeSequence(t *testing.T, w, h, frames int, cfg func(*media.CodecConfig)) ([]byte, []*media.Frame) {
+	t.Helper()
+	cc := media.DefaultCodec(w, h)
+	if cfg != nil {
+		cfg(&cc)
+	}
+	src := media.NewSource(media.DefaultSource(w, h))
+	fr := src.Frames(frames)
+	stream, _, _, err := media.Encode(cc, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, fr
+}
+
+func TestDecodeAppMatchesReference(t *testing.T) {
+	stream, _ := encodeSequence(t, 64, 48, 8, nil)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := sys.Run(200_000_000)
+	if err != nil {
+		t.Fatalf("Run after %d cycles: %v", sys.K.Now(), err)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("decoded %d frames in %d cycles", app.Seq.Frames, cycles)
+}
+
+func TestDecodeAppIPPPOnly(t *testing.T) {
+	stream, _ := encodeSequence(t, 48, 32, 6, func(c *media.CodecConfig) {
+		c.GOPM = 1
+		c.GOPN = 3
+	})
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAppSingleIntraFrame(t *testing.T) {
+	stream, _ := encodeSequence(t, 32, 32, 1, nil)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAppDeterministic(t *testing.T) {
+	stream, _ := encodeSequence(t, 48, 32, 5, nil)
+	run := func() uint64 {
+		sys := NewSystem(Fig8())
+		app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := sys.Run(200_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.VerifyAgainstReference(stream); err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic cycle count: %d vs %d", a, b)
+	}
+}
+
+func TestDualDecodeSharesCoprocessors(t *testing.T) {
+	// Two independent streams decoded simultaneously on one instance:
+	// every coprocessor time-shares two tasks of the same function
+	// (Section 4.2's multi-tasking flexibility).
+	streamA, _ := encodeSequence(t, 48, 32, 5, nil)
+	streamB, _ := encodeSequence(t, 64, 48, 4, func(c *media.CodecConfig) { c.Q = 10 })
+	sys := NewSystem(Fig8())
+	appA, err := sys.AddDecodeApp("a", streamA, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appB, err := sys.AddDecodeApp("b", streamB, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := appA.VerifyAgainstReference(streamA); err != nil {
+		t.Fatalf("app a: %v", err)
+	}
+	if err := appB.VerifyAgainstReference(streamB); err != nil {
+		t.Fatalf("app b: %v", err)
+	}
+	// Each coprocessor shell must have seen two tasks switching.
+	for _, name := range []string{"vld", "rlsq", "dct", "mc"} {
+		stA, err := sys.TaskStats("a-" + taskForCopro(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stB, err := sys.TaskStats("b-" + taskForCopro(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stA.Steps == 0 || stB.Steps == 0 {
+			t.Fatalf("%s: steps a=%d b=%d", name, stA.Steps, stB.Steps)
+		}
+		if stA.Switches == 0 || stB.Switches == 0 {
+			t.Fatalf("%s: no task switches (a=%d b=%d)", name, stA.Switches, stB.Switches)
+		}
+	}
+}
+
+// taskForCopro maps a Figure 8 coprocessor to its decode-graph task name.
+func taskForCopro(name string) string {
+	if name == "dct" {
+		return "idct"
+	}
+	return name
+}
+
+func TestDecodeTooSmallBufferFailsCleanly(t *testing.T) {
+	// A token buffer smaller than the largest token record can never
+	// satisfy the RLSQ's GetSpace and must be reported, not hang.
+	stream, _ := encodeSequence(t, 48, 32, 3, func(c *media.CodecConfig) { c.Q = 1 })
+	bufs := DefaultDecodeBuffers()
+	bufs.Tok = 128
+	sys := NewSystem(Fig8())
+	if _, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Buffers: &bufs}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sys.Run(50_000_000)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "exceeds buffer size") && !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeProbesRecordBufferFilling(t *testing.T) {
+	stream, _ := encodeSequence(t, 64, 48, 6, nil)
+	sys := NewSystem(Fig8())
+	if _, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Probes: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dec/rlsq.in", "dec/dct.in", "dec/mc.in"} {
+		s := sys.Collector.Series(name)
+		if s == nil || len(s.X) == 0 {
+			t.Fatalf("series %s missing", name)
+		}
+		if s.Max() == 0 {
+			t.Fatalf("series %s never saw data", name)
+		}
+	}
+}
+
+func TestDecodeRemapRLSQOntoDCTCopro(t *testing.T) {
+	// The mapping is configuration, not hardware: run the RLSQ function
+	// as a second task on the DCT coprocessor (a legal, if slower,
+	// mapping) and verify output is unchanged — Kahn determinism across
+	// mappings.
+	stream, _ := encodeSequence(t, 48, 32, 4, nil)
+	mapping := map[string]string{}
+	for k, v := range DefaultDecodeMapping {
+		mapping[k] = v
+	}
+	mapping["rlsq"] = "dct"
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Mapping: mapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGraphValidates(t *testing.T) {
+	g := DecodeGraph("x", DefaultDecodeBuffers())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 6 || len(g.Streams) != 6 {
+		t.Fatalf("graph has %d tasks, %d streams", len(g.Tasks), len(g.Streams))
+	}
+}

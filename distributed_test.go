@@ -1,0 +1,91 @@
+package eclipse
+
+import (
+	"testing"
+)
+
+// TestDistributedStreamsCorrectAndFaster exercises the Section 6 memory-
+// organization tradeoff: distributed per-stream banks must decode
+// bit-exactly (Kahn determinism) and faster than the contended central
+// SRAM, at the cost of flexibility (no shared capacity pool).
+func TestDistributedStreamsCorrectAndFaster(t *testing.T) {
+	stream, _ := encodeSequence(t, 96, 80, 6, nil)
+	run := func(distributed bool) uint64 {
+		arch := Fig8()
+		arch.DistributedStreams = distributed
+		sys := NewSystem(arch)
+		app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := sys.Run(10_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.VerifyAgainstReference(stream); err != nil {
+			t.Fatalf("distributed=%v: %v", distributed, err)
+		}
+		return cycles
+	}
+	central, distributed := run(false), run(true)
+	if distributed >= central {
+		t.Errorf("distributed banks (%d cycles) not faster than central SRAM (%d)", distributed, central)
+	}
+	t.Logf("central %d cycles, distributed %d cycles (%.2fx)",
+		central, distributed, float64(distributed)/float64(central))
+}
+
+// TestDistributedStreamsEscapeTheCapacityWall shows the flexibility side
+// of the tradeoff: a workload whose buffers exceed the 32 kB central SRAM
+// is impossible centralized but fine distributed.
+func TestDistributedStreamsEscapeTheCapacityWall(t *testing.T) {
+	stream, _ := encodeSequence(t, 48, 32, 3, nil)
+	big := DecodeBuffers{Bits: 8192, Tok: 8192, Hdr: 4096, Coef: 8192, Resid: 8192, Pix: 8192}
+
+	arch := Fig8()
+	sys := NewSystem(arch)
+	if _, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Buffers: &big}); err == nil {
+		t.Fatal("44 kB of buffers fit in the 32 kB central SRAM?")
+	}
+
+	arch.DistributedStreams = true
+	sys2 := NewSystem(arch)
+	app, err := sys2.AddDecodeApp("dec", stream, DecodeOptions{Buffers: &big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Run(10_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedTranscode runs the simultaneous encode+decode workload
+// on distributed banks, bit-exact on both outputs.
+func TestDistributedTranscode(t *testing.T) {
+	decStream, _ := encodeSequence(t, 48, 32, 4, nil)
+	encCfg := DefaultCodec(48, 32)
+	encFrames := GenerateVideo(DefaultSource(48, 32), 4)
+	arch := Fig8()
+	arch.DistributedStreams = true
+	sys := NewSystem(arch)
+	dec, err := sys.AddDecodeApp("d", decStream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sys.AddEncodeApp("e", encCfg, encFrames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(10_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.VerifyAgainstReference(decStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.VerifyAgainstReference(encCfg, encFrames); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package eclipse
+
+import (
+	"testing"
+
+	"eclipse/internal/media"
+)
+
+func TestEncodeAppBitExact(t *testing.T) {
+	cfg := media.DefaultCodec(64, 48)
+	frames := GenerateVideo(DefaultSource(64, 48), 8)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddEncodeApp("enc", cfg, frames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := sys.Run(2_000_000_000)
+	if err != nil {
+		t.Fatalf("Run after %d cycles: %v", sys.K.Now(), err)
+	}
+	if err := app.VerifyAgainstReference(cfg, frames); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("encoded %d frames in %d cycles, %d bytes", len(frames), cycles, len(app.Bitstream()))
+}
+
+func TestEncodeAppIPPP(t *testing.T) {
+	cfg := media.DefaultCodec(48, 32)
+	cfg.GOPM = 1
+	cfg.GOPN = 4
+	frames := GenerateVideo(DefaultSource(48, 32), 6)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddEncodeApp("enc", cfg, frames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(cfg, frames); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeThenDecodeRoundTripOnEclipse(t *testing.T) {
+	// Encode on one instance, decode the produced stream on another:
+	// the full codec loop entirely through cycle-accurate hardware models.
+	cfg := media.DefaultCodec(48, 32)
+	frames := GenerateVideo(DefaultSource(48, 32), 5)
+
+	encSys := NewSystem(Fig8())
+	enc, err := encSys.AddEncodeApp("enc", cfg, frames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encSys.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	stream := enc.Bitstream()
+
+	decSys := NewSystem(Fig8())
+	dec, err := decSys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decSys.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+	// Quality sanity: decoded output approximates the input.
+	for i, f := range dec.Frames() {
+		if p := frames[i].PSNR(f); p < 22 {
+			t.Fatalf("frame %d PSNR %.1f dB", i, p)
+		}
+	}
+}
+
+func TestTranscodeSimultaneousEncodeDecode(t *testing.T) {
+	// The paper's time-shift scenario: one instance simultaneously
+	// decodes one stream and encodes another, with every coprocessor
+	// multi-tasking across the two applications — including the DCT
+	// coprocessor running forward and inverse transforms and the RLSQ
+	// running quantization and dequantization (Section 2.1's reuse).
+	decStream, _ := encodeSequence(t, 48, 32, 5, nil)
+	encCfg := media.DefaultCodec(48, 32)
+	encFrames := GenerateVideo(DefaultSource(48, 32), 5)
+
+	sys := NewSystem(Fig8())
+	dec, err := sys.AddDecodeApp("d", decStream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sys.AddEncodeApp("e", encCfg, encFrames, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(4_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.VerifyAgainstReference(decStream); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := enc.VerifyAgainstReference(encCfg, encFrames); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// The DCT coprocessor must have executed at least three tasks
+	// (decode idct, encode fdct, encode idct) with real switching.
+	st, err := sys.TaskStats("e-fdct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Switches == 0 {
+		t.Fatal("no task switches on the shared DCT coprocessor")
+	}
+}
+
+func TestEncodeAppRejectsBadConfig(t *testing.T) {
+	cfg := media.DefaultCodec(48, 32)
+	cfg.Q = 0
+	sys := NewSystem(Fig8())
+	if _, err := sys.AddEncodeApp("enc", cfg, GenerateVideo(DefaultSource(48, 32), 2), EncodeOptions{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := sys.AddEncodeApp("enc", media.DefaultCodec(48, 32), nil, EncodeOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestEncodeGraphValidates(t *testing.T) {
+	g := EncodeGraph("x", DefaultEncodeBuffers())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 7 || len(g.Streams) != 9 {
+		t.Fatalf("graph has %d tasks, %d streams", len(g.Tasks), len(g.Streams))
+	}
+}

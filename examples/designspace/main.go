@@ -1,0 +1,66 @@
+// Design-space exploration: the paper's Section 7 methodology. The same
+// decode workload runs across shell cache sizes, prefetch depths, and
+// stream-bus parameters; the tables show where each resource stops being
+// the bottleneck — the feedback the Eclipse designers used before
+// committing to gate-level design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eclipse"
+)
+
+func main() {
+	frames := eclipse.GenerateVideo(eclipse.DefaultSource(96, 80), 8)
+	stream, _, _, err := eclipse.Encode(eclipse.DefaultCodec(96, 80), frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := func(title, unit string, pts []eclipse.SweepPoint) {
+		fmt.Printf("%s\n", title)
+		base := pts[len(pts)-1].Cycles // fastest/most-provisioned config
+		for _, p := range pts {
+			if p.Extra["failed"] == 1 {
+				fmt.Printf("  %-16s %12s\n", p.Label, "deadlock")
+				continue
+			}
+			fmt.Printf("  %-16s %12d cycles   +%4.1f%% vs largest\n",
+				p.Label, p.Cycles, (float64(p.Cycles)/float64(base)-1)*100)
+		}
+		fmt.Println()
+		_ = unit
+	}
+
+	pts, err := eclipse.RunCacheSweep(stream, []int{1, 2, 4, 8, 16, 32, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table("decode time vs shell cache capacity (lines of 16 B):", "lines", pts)
+
+	pts, err = eclipse.RunPrefetchSweep(stream, []int{0, 1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table("decode time vs prefetch depth:", "lines", pts)
+
+	pts, err = eclipse.RunBusWidthSweep(stream, []int{4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table("decode time vs stream bus width:", "bytes", pts)
+
+	pts, err = eclipse.RunBusLatencySweep(stream, []uint64{1, 2, 4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table("decode time vs stream memory latency:", "cycles", pts)
+
+	pts, err = eclipse.RunBufferScaleSweep(stream, []float64{0.25, 0.5, 1, 2, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table("decode time vs stream buffer sizing:", "scale", pts)
+}

@@ -1,0 +1,57 @@
+// MPEG decode: reproduce the paper's Figure 10 experiment — decode an
+// IPBB GOP on the Figure 8 instance, chart the available data in the
+// RLSQ, DCT, and MC input stream buffers over time, and report which
+// coprocessor bounds each frame type.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"eclipse"
+	"eclipse/internal/media"
+	"eclipse/internal/viz"
+)
+
+func main() {
+	cfg := eclipse.DefaultFig10()
+	fmt.Printf("decoding %d frames of %dx%d (GOP N=%d M=%d, q=%d) on the Figure 8 instance...\n\n",
+		cfg.Frames, cfg.W, cfg.H, cfg.GOPN, cfg.GOPM, cfg.Q)
+	res, err := eclipse.RunFig10(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// GOP annotation along the time axis, as in the paper's figure.
+	var annot strings.Builder
+	for _, w := range res.Windows {
+		n := int(float64(w.End-w.Start) / float64(res.Cycles) * 72)
+		if n < 1 {
+			n = 1
+		}
+		annot.WriteString(w.Type.String())
+		annot.WriteString(strings.Repeat(".", n-1))
+	}
+	chart := viz.DefaultChart()
+	for i, stage := range []string{"rlsq", "dct", "mc"} {
+		a := ""
+		if i == 0 {
+			a = annot.String()
+		}
+		fmt.Print(chart.Render(res.Collector.Series("dec/"+stage+".in"), a))
+		fmt.Println()
+	}
+
+	fmt.Println("bottleneck per coded frame:")
+	for _, w := range res.Windows {
+		fmt.Printf("  %2d %v  rlsq %4.0f%%  dct %4.0f%%  mc %4.0f%%  -> %s\n",
+			w.Coded, w.Type, w.MeanFill["rlsq"]*100, w.MeanFill["dct"]*100,
+			w.MeanFill["mc"]*100, w.Bottleneck)
+	}
+	fmt.Printf("\nmajority: I -> %s, P -> %s, B -> %s  (paper: rlsq, dct, mc)\n",
+		res.MajorityBottleneck(media.FrameI),
+		res.MajorityBottleneck(media.FrameP),
+		res.MajorityBottleneck(media.FrameB))
+	fmt.Printf("total: %d cycles for %d frames\n", res.Cycles, res.Seq.Frames)
+}

@@ -1,0 +1,72 @@
+// Transcode: the paper's time-shift scenario. One Eclipse instance
+// simultaneously decodes one stream and encodes another; the DCT, RLSQ
+// and MC/ME coprocessors each time-share tasks of both applications
+// (forward and inverse transforms, quantization and dequantization,
+// estimation and reconstruction) — the hardware-reuse flexibility the
+// paper motivates in Section 2.1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"eclipse"
+)
+
+func main() {
+	const w, h = 96, 80
+
+	// The stream to decode (e.g. the live broadcast being watched).
+	watchSrc := eclipse.DefaultSource(w, h)
+	watchSrc.Seed = 7
+	watched := eclipse.GenerateVideo(watchSrc, 8)
+	watchStream, _, _, err := eclipse.Encode(eclipse.DefaultCodec(w, h), watched)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The video to encode (e.g. the broadcast being recorded).
+	recSrc := eclipse.DefaultSource(w, h)
+	recSrc.Seed = 8
+	recorded := eclipse.GenerateVideo(recSrc, 8)
+	recCfg := eclipse.DefaultCodec(w, h)
+
+	sys := eclipse.NewSystem(eclipse.Fig8())
+	dec, err := sys.AddDecodeApp("watch", watchStream, eclipse.DecodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := sys.AddEncodeApp("rec", recCfg, recorded, eclipse.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cycles, err := sys.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decode + encode completed in %d cycles (%.2f ms at 150 MHz)\n",
+		cycles, float64(cycles)/150e6*1e3)
+
+	if err := dec.VerifyAgainstReference(watchStream); err != nil {
+		log.Fatal("decode: ", err)
+	}
+	fmt.Println("decoded frames bit-exact with the reference decoder")
+	if err := enc.VerifyAgainstReference(recCfg, recorded); err != nil {
+		log.Fatal("encode: ", err)
+	}
+	fmt.Printf("encoded bitstream (%d bytes) bit-exact with the reference encoder\n\n",
+		len(enc.Bitstream()))
+
+	// Quality of the recording after a decode round trip.
+	decoded, err := eclipse.DecodeReference(enc.Bitstream())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range decoded {
+		fmt.Printf("recorded frame %d: %.1f dB PSNR\n", i, recorded[i].PSNR(decoded[i]))
+	}
+	fmt.Println()
+	sys.WriteReport(os.Stdout)
+}

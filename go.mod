@@ -1,0 +1,3 @@
+module eclipse
+
+go 1.22

@@ -1,0 +1,115 @@
+package eclipse
+
+import (
+	"testing"
+)
+
+// TestInstanceScalability runs the same workload across the template's
+// instances: outputs are identical everywhere (the template separates
+// function from infrastructure), and performance orders Lite < Fig8 < HD.
+func TestInstanceScalability(t *testing.T) {
+	stream, _ := encodeSequence(t, 96, 80, 6, nil)
+	run := func(arch Arch) uint64 {
+		sys := NewSystem(arch)
+		app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := sys.Run(50_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.VerifyAgainstReference(stream); err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	lite, fig8, hd := run(Lite()), run(Fig8()), run(HD())
+	if !(hd <= fig8 && fig8 < lite) {
+		t.Errorf("scaling violated: lite=%d fig8=%d hd=%d", lite, fig8, hd)
+	}
+	t.Logf("lite %d, fig8 %d, hd %d cycles", lite, fig8, hd)
+}
+
+// TestLiteMappingFoldsPipelineOntoOneCoprocessor maps VLD+RLSQ+IDCT onto
+// a single time-shared coprocessor: three tasks of different functions on
+// one shell, still bit-exact.
+func TestLiteMappingFoldsPipelineOntoOneCoprocessor(t *testing.T) {
+	stream, _ := encodeSequence(t, 64, 48, 5, nil)
+	sys := NewSystem(Lite())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Mapping: LiteDecodeMapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(50_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+	// The folded coprocessor must have really time-shared three tasks.
+	for _, task := range []string{"vld", "rlsq", "idct"} {
+		name, _, err := sys.TaskPlace("dec-" + task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "xform" {
+			t.Fatalf("task %s on %s", task, name)
+		}
+		st, _ := sys.TaskStats("dec-" + task)
+		if st.Switches == 0 {
+			t.Fatalf("task %s never switched on the shared coprocessor", task)
+		}
+	}
+}
+
+// TestQuadAppStress plans four applications onto one instance. The Fig. 8
+// SRAM cannot hold three decoders plus an encoder at default buffer
+// sizes; the capacity error is surfaced at configuration time, and both
+// the HD instance (more SRAM) and the distributed organization run it.
+func TestQuadAppStress(t *testing.T) {
+	streams := make([][]byte, 3)
+	for i := range streams {
+		streams[i], _ = encodeSequence(t, 48, 32, 3, func(c *CodecConfig) { c.Q = 6 + 2*i })
+	}
+	encCfg := DefaultCodec(48, 32)
+	encFrames := GenerateVideo(DefaultSource(48, 32), 3)
+
+	build := func(arch Arch) (*System, []*DecodeApp, *EncodeApp, error) {
+		sys := NewSystem(arch)
+		var decs []*DecodeApp
+		for i, st := range streams {
+			d, err := sys.AddDecodeApp(string(rune('a'+i)), st, DecodeOptions{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			decs = append(decs, d)
+		}
+		enc, err := sys.AddEncodeApp("e", encCfg, encFrames, EncodeOptions{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sys, decs, enc, nil
+	}
+
+	if _, _, _, err := build(Fig8()); err == nil {
+		t.Fatal("four apps fit the 32 kB SRAM?")
+	}
+	for _, arch := range []Arch{HD(), func() Arch { a := Fig8(); a.DistributedStreams = true; return a }()} {
+		sys, decs, enc, err := build(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(50_000_000_000); err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range decs {
+			if err := d.VerifyAgainstReference(streams[i]); err != nil {
+				t.Fatalf("decode %d: %v", i, err)
+			}
+		}
+		if err := enc.VerifyAgainstReference(encCfg, encFrames); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExample(t *testing.T) {
+	f, err := Parse(strings.NewReader(Example))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Find("arch")) != 1 {
+		t.Fatal("missing [arch]")
+	}
+	shells := f.Find("shell")
+	if len(shells) != 2 {
+		t.Fatalf("%d shell sections", len(shells))
+	}
+	if len(shells[1].Args) != 1 || shells[1].Args[0] != "dct" {
+		t.Fatalf("override args %v", shells[1].Args)
+	}
+	apps := f.Find("app")
+	if len(apps) != 2 {
+		t.Fatalf("%d apps", len(apps))
+	}
+	if apps[0].Keys["width"] != "96" {
+		t.Fatalf("keys %v", apps[0].Keys)
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	text := `
+# leading comment
+[a]   # trailing comment
+x = 1 # value comment
+
+y = hello world
+`
+	f, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Sections[0]
+	if s.Keys["x"] != "1" || s.Keys["y"] != "hello world" {
+		t.Fatalf("keys %v", s.Keys)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"key outside section": "x = 1\n",
+		"unterminated header": "[abc\n",
+		"empty header":        "[]\n",
+		"missing equals":      "[a]\nnoequals\n",
+		"empty key":           "[a]\n= 3\n",
+		"duplicate key":       "[a]\nx=1\nx=2\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecoderTypes(t *testing.T) {
+	f, err := Parse(strings.NewReader("[a]\ni = -3\nu = 42\nb = true\ns64 = -7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(&f.Sections[0])
+	var i int
+	var u uint64
+	var b bool
+	var s64 int64
+	d.Int("i", &i)
+	d.Uint64("u", &u)
+	d.Bool("b", &b)
+	d.Int64("s64", &s64)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if i != -3 || u != 42 || !b || s64 != -7 {
+		t.Fatalf("decoded %d %d %v %d", i, u, b, s64)
+	}
+}
+
+func TestDecoderMissingKeysKeepDefaults(t *testing.T) {
+	f, _ := Parse(strings.NewReader("[a]\n"))
+	d := NewDecoder(&f.Sections[0])
+	x := 9
+	d.Int("absent", &x)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if x != 9 {
+		t.Fatal("default overwritten")
+	}
+}
+
+func TestDecoderBadValue(t *testing.T) {
+	f, _ := Parse(strings.NewReader("[a]\nx = banana\n"))
+	d := NewDecoder(&f.Sections[0])
+	var x int
+	d.Int("x", &x)
+	if d.Finish() == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestDecoderUnknownKeyRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader("[a]\nx = 1\ntypo = 2\n"))
+	d := NewDecoder(&f.Sections[0])
+	var x int
+	d.Int("x", &x)
+	err := d.Finish()
+	if err == nil || !strings.Contains(err.Error(), "typo") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecoderNegativeUintRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader("[a]\nu = -1\n"))
+	d := NewDecoder(&f.Sections[0])
+	var u uint64
+	d.Uint64("u", &u)
+	if d.Finish() == nil {
+		t.Fatal("negative uint accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package copro
+
+import (
+	"testing"
+
+	"eclipse/internal/media"
+	"eclipse/internal/mem"
+	"eclipse/internal/sim"
+)
+
+func TestCostsCalibration(t *testing.T) {
+	c := DefaultCosts()
+	// The Figure 10 calibration contract: per-macroblock compute costs
+	// must order RLSQ(P) < DCT < RLSQ(I), with DCT between the MC single-
+	// and double-fetch costs once memory time is added (see DESIGN.md).
+	dct := 4 * c.DCTCost()
+	rlsqP := c.RLSQCost(8, 2)
+	rlsqI := c.RLSQCost(60, 4)
+	if !(rlsqP < dct && dct < rlsqI) {
+		t.Fatalf("calibration broken: rlsqP=%d dct=%d rlsqI=%d", rlsqP, dct, rlsqI)
+	}
+	if c.VLDCost(100) <= c.VLDCost(10) {
+		t.Fatal("VLD cost not data dependent")
+	}
+}
+
+func TestCostsPipelinedDCT(t *testing.T) {
+	c := DefaultCosts()
+	base := c.DCTCost()
+	c.DCTPipelined = true
+	if c.DCTCost() != base/2 {
+		t.Fatalf("pipelined cost %d, want %d", c.DCTCost(), base/2)
+	}
+}
+
+func TestFramestoreSlotRotation(t *testing.T) {
+	k := sim.NewKernel()
+	dram := mem.New(k, mem.Fig8DRAM())
+	fs, err := NewFramestore(dram, 32, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I P B B P: the B frames reuse the third slot; references persist.
+	i0 := fs.BeginFrame()
+	fs.EndFrame(i0, media.FrameI)
+	p1 := fs.BeginFrame()
+	fs.EndFrame(p1, media.FrameP)
+	b1 := fs.BeginFrame()
+	fs.EndFrame(b1, media.FrameB)
+	b2 := fs.BeginFrame()
+	fs.EndFrame(b2, media.FrameB)
+	if fwd, bwd := fs.Refs(media.FrameB); fwd != i0 || bwd != p1 {
+		t.Fatal("references lost during B frames")
+	}
+	p2 := fs.BeginFrame()
+	fs.EndFrame(p2, media.FrameP)
+	if fwd, bwd := fs.Refs(media.FrameB); fwd != p1 || bwd != p2 {
+		t.Fatal("reference chain did not advance")
+	}
+	// i0 fell out; its slot must be reusable without panicking.
+	for i := 0; i < 6; i++ {
+		f := fs.BeginFrame()
+		fs.EndFrame(f, media.FrameP)
+	}
+}
+
+func TestFramestoreTooSmall(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := mem.Fig8DRAM()
+	cfg.Size = 1024
+	dram := mem.New(k, cfg)
+	if _, err := NewFramestore(dram, 64, 64, 0); err == nil {
+		t.Fatal("oversized framestore accepted")
+	}
+}
+
+func TestFramestoreStoreAndFetchTiming(t *testing.T) {
+	k := sim.NewKernel()
+	dram := mem.New(k, mem.Fig8DRAM())
+	fs, err := NewFramestore(dram, 32, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fs.BeginFrame()
+	var pix media.MBPixels
+	for i := range pix {
+		pix[i] = byte(i)
+	}
+	var fetchTook uint64
+	k.NewProc("mc", 0, func(p *sim.Proc) {
+		fs.StoreMB(f, 0, 0, &pix)
+		fs.EndFrame(f, media.FrameI)
+		t0 := p.Now()
+		fs.FetchRegion(p, f, 0, 0)
+		fetchTook = p.Now() - t0
+	})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror content must round-trip.
+	var back media.MBPixels
+	f.GetMB(0, 0, &back)
+	if back != pix {
+		t.Fatal("mirror content lost")
+	}
+	// A 16-row fetch must cost at least the DRAM latency but overlap the
+	// row requests (well under 16 sequential accesses).
+	lat := mem.Fig8DRAM().ReadLatency
+	if fetchTook < lat {
+		t.Fatalf("fetch took %d, below latency %d", fetchTook, lat)
+	}
+	if fetchTook > 16*(lat+2) {
+		t.Fatalf("fetch took %d: rows not overlapped", fetchTook)
+	}
+}
+
+func TestFramestoreFetchClamps(t *testing.T) {
+	k := sim.NewKernel()
+	dram := mem.New(k, mem.Fig8DRAM())
+	fs, err := NewFramestore(dram, 32, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fs.BeginFrame()
+	fs.EndFrame(f, media.FrameI)
+	k.NewProc("mc", 0, func(p *sim.Proc) {
+		fs.FetchRegion(p, f, -20, -20) // off-frame: must clamp, not panic
+		fs.FetchRegion(p, f, 31, 31)
+	})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawStore(t *testing.T) {
+	k := sim.NewKernel()
+	dram := mem.New(k, mem.Fig8DRAM())
+	frames := []*media.Frame{media.NewFrame(32, 32), media.NewFrame(32, 32)}
+	frames[1].Pix[5] = 99
+	rs, err := NewRawStore(dram, 4096, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got media.MBPixels
+	k.NewProc("me", 0, func(p *sim.Proc) {
+		rs.FetchMB(p, 1, 0, 0, &got)
+	})
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 99 {
+		t.Fatal("wrong frame fetched")
+	}
+	if _, err := NewRawStore(dram, 0, nil); err == nil {
+		t.Fatal("empty raw store accepted")
+	}
+}
+
+func TestRecInfoRoundTrip(t *testing.T) {
+	dec := media.MBDecision{Mode: media.PredBi, FMV: media.MV{X: -3, Y: 7}, BMV: media.MV{X: 2, Y: -5}}
+	buf := appendRecInfo(nil, dec, 0x0B)
+	if len(buf) != RecInfoSize {
+		t.Fatalf("size %d", len(buf))
+	}
+	gotDec, cbp, err := parseRecInfo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDec != dec || cbp != 0x0B {
+		t.Fatalf("got %+v cbp %x", gotDec, cbp)
+	}
+}

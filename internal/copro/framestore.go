@@ -1,0 +1,132 @@
+package copro
+
+import (
+	"fmt"
+
+	"eclipse/internal/media"
+	"eclipse/internal/mem"
+	"eclipse/internal/sim"
+)
+
+// Framestore models the off-chip reference-frame storage behind the MC/ME
+// coprocessor's dedicated system-bus connection (Figure 8). Pixel values
+// are mirrored in media.Frame structures for exact computation, while
+// every access is charged against the off-chip memory model, so timing
+// reflects DRAM latency and bus contention.
+type Framestore struct {
+	dram *mem.Memory
+	w, h int
+	base uint32 // first byte of the frame slots in off-chip memory
+	// Three rotating slots: older reference, newer reference, current.
+	slots  [3]*media.Frame
+	slotOf map[*media.Frame]int
+	refs   media.RefChain
+}
+
+// NewFramestore reserves three frame slots in off-chip memory starting at
+// base.
+func NewFramestore(dram *mem.Memory, w, h int, base uint32) (*Framestore, error) {
+	need := int(base) + 3*w*h
+	if need > dram.Size() {
+		return nil, fmt.Errorf("copro: framestore needs %d bytes, off-chip memory has %d", need, dram.Size())
+	}
+	return &Framestore{dram: dram, w: w, h: h, base: base, slotOf: map[*media.Frame]int{}}, nil
+}
+
+// slotAddr returns the off-chip address of pixel (x, y) in a slot.
+func (fs *Framestore) slotAddr(slot, x, y int) uint32 {
+	return fs.base + uint32(slot*fs.w*fs.h+y*fs.w+x)
+}
+
+// BeginFrame allocates the slot for a new frame being reconstructed,
+// reusing the slot of the frame that just fell out of the reference
+// chain.
+func (fs *Framestore) BeginFrame() *media.Frame {
+	f := media.NewFrame(fs.w, fs.h)
+	used := map[int]bool{}
+	if fs.refs.A != nil {
+		used[fs.slotOf[fs.refs.A]] = true
+	}
+	if fs.refs.B != nil {
+		used[fs.slotOf[fs.refs.B]] = true
+	}
+	for s := 0; s < 3; s++ {
+		if !used[s] {
+			// Reclaim the slot from whichever old frame held it.
+			for old, os := range fs.slotOf {
+				if os == s {
+					delete(fs.slotOf, old)
+				}
+			}
+			fs.slotOf[f] = s
+			return f
+		}
+	}
+	panic("copro: no free frame slot")
+}
+
+// EndFrame records a completed frame in the reference chain.
+func (fs *Framestore) EndFrame(f *media.Frame, ftype media.FrameType) {
+	fs.refs.Advance(f, ftype)
+}
+
+// Refs returns the prediction references for a frame type.
+func (fs *Framestore) Refs(ftype media.FrameType) (fwd, bwd *media.Frame) {
+	return fs.refs.Refs(ftype)
+}
+
+// StoreMB writes a reconstructed macroblock into both the mirror frame
+// and the off-chip model (asynchronously — the coprocessor does not wait
+// for the writeback, but the bus occupancy is real).
+func (fs *Framestore) StoreMB(f *media.Frame, mbx, mby int, pix *media.MBPixels) {
+	f.SetMB(mbx, mby, pix)
+	slot := fs.slotOf[f]
+	x, y := mbx*media.MBSize, mby*media.MBSize
+	for row := 0; row < media.MBSize; row++ {
+		fs.dram.WriteAsync(fs.slotAddr(slot, x, y+row), pix[row*media.MBSize:(row+1)*media.MBSize], nil)
+	}
+}
+
+// FetchRegion charges the off-chip reads for a 16×16 prediction fetch at
+// (x, y) (clamped to the frame), blocking the coprocessor until the last
+// row arrives; the row reads are issued together so their latencies
+// overlap, as a burst-capable system-bus port would.
+func (fs *Framestore) FetchRegion(p *sim.Proc, f *media.Frame, x, y int) {
+	slot, ok := fs.slotOf[f]
+	if !ok {
+		panic("copro: prediction fetch from an unstored frame")
+	}
+	cx, cy := clampRegion(x, fs.w), clampRegion(y, fs.h)
+	k := p.Kernel()
+	done := 0
+	sig := k.NewSignal("mcfetch")
+	var row [media.MBSize]byte
+	for r := 0; r < media.MBSize; r++ {
+		fs.dram.ReadAsync(fs.slotAddr(slot, cx, cy+rowClamp(r, cy, fs.h)), row[:], func() {
+			done++
+			if done == media.MBSize {
+				sig.Fire()
+			}
+		})
+	}
+	p.Wait(sig)
+}
+
+// clampRegion clamps a region origin so a 16-pixel span stays in frame.
+func clampRegion(v, limit int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > limit-media.MBSize {
+		return limit - media.MBSize
+	}
+	return v
+}
+
+// rowClamp keeps row offsets inside the frame for clamped fetches.
+func rowClamp(row, cy, h int) int {
+	if cy+row >= h {
+		return h - 1 - cy
+	}
+	return row
+}

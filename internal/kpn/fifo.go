@@ -1,0 +1,224 @@
+package kpn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// fifo is a bounded byte FIFO with one producer and one or more
+// consumers. Multi-consumer streams broadcast: every consumer sees every
+// byte, and the producer's writable space is limited by the slowest
+// consumer (the same semantics the Eclipse shells implement with one
+// space counter per remote access point, Section 5.1).
+type fifo struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte   // ring buffer, len(buf) == capacity
+	wtotal uint64   // total bytes ever written
+	rtotal []uint64 // per-consumer total bytes ever read
+	closed bool
+	err    error
+
+	// blocked-task accounting for network-level deadlock detection
+	exec *Executor
+}
+
+func newFIFO(capacity, consumers int, exec *Executor) *fifo {
+	f := &fifo{
+		buf:    make([]byte, capacity),
+		rtotal: make([]uint64, consumers),
+		exec:   exec,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// minRead returns the slowest consumer's total.
+func (f *fifo) minRead() uint64 {
+	m := f.rtotal[0]
+	for _, r := range f.rtotal[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// space returns the bytes the producer may currently write.
+func (f *fifo) space() int {
+	return len(f.buf) - int(f.wtotal-f.minRead())
+}
+
+// available returns the bytes consumer i may currently read.
+func (f *fifo) available(i int) int {
+	return int(f.wtotal - f.rtotal[i])
+}
+
+// wait blocks on the condition variable with executor-level deadlock
+// accounting. check re-evaluates the caller's wait condition (under f.mu)
+// so the executor's deadlock verifier can distinguish a genuinely stuck
+// task from one with a pending wakeup.
+func (f *fifo) wait(check func() bool) {
+	if f.exec != nil {
+		ent := f.exec.taskBlocked(f, check)
+		f.cond.Wait()
+		f.exec.taskUnblocked(ent)
+		return
+	}
+	f.cond.Wait()
+}
+
+// bump records a state mutation for the deadlock verifier's epoch check.
+func (f *fifo) bump() {
+	if f.exec != nil {
+		f.exec.epoch.Add(1)
+	}
+}
+
+// write appends all of data, blocking while the buffer is full. It
+// returns the executor error if the network failed or deadlocked.
+func (f *fifo) write(data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(data) > 0 {
+		if f.err != nil {
+			return f.err
+		}
+		if f.closed {
+			return errors.New("kpn: write on closed stream")
+		}
+		n := f.space()
+		if n == 0 {
+			f.wait(func() bool { return f.err != nil || f.closed || f.space() > 0 })
+			continue
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		pos := int(f.wtotal % uint64(len(f.buf)))
+		c := copy(f.buf[pos:], data[:n])
+		copy(f.buf, data[c:n])
+		f.wtotal += uint64(n)
+		data = data[n:]
+		f.bump()
+		f.cond.Broadcast()
+	}
+	return nil
+}
+
+// readFull fills buf for consumer i, blocking until enough data arrives.
+// At a closed stream it returns io.EOF if no bytes were available, or
+// io.ErrUnexpectedEOF if the stream ended mid-record.
+func (f *fifo) readFull(i int, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	got := 0
+	for got < len(buf) {
+		if f.err != nil {
+			return f.err
+		}
+		n := f.available(i)
+		if n == 0 {
+			if f.closed {
+				if got == 0 {
+					return io.EOF
+				}
+				return io.ErrUnexpectedEOF
+			}
+			f.wait(func() bool { return f.err != nil || f.closed || f.available(i) > 0 })
+			continue
+		}
+		if n > len(buf)-got {
+			n = len(buf) - got
+		}
+		pos := int(f.rtotal[i] % uint64(len(f.buf)))
+		c := copy(buf[got:got+n], f.buf[pos:])
+		copy(buf[got+c:got+n], f.buf)
+		f.rtotal[i] += uint64(n)
+		got += n
+		f.bump()
+		f.cond.Broadcast()
+	}
+	return nil
+}
+
+// readSome reads between 1 and len(buf) bytes for consumer i, blocking
+// until at least one byte is available. It returns io.EOF at a cleanly
+// ended stream.
+func (f *fifo) readSome(i int, buf []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.err != nil {
+			return 0, f.err
+		}
+		n := f.available(i)
+		if n == 0 {
+			if f.closed {
+				return 0, io.EOF
+			}
+			f.wait(func() bool { return f.err != nil || f.closed || f.available(i) > 0 })
+			continue
+		}
+		if n > len(buf) {
+			n = len(buf)
+		}
+		pos := int(f.rtotal[i] % uint64(len(f.buf)))
+		c := copy(buf[:n], f.buf[pos:])
+		copy(buf[c:n], f.buf)
+		f.rtotal[i] += uint64(n)
+		f.bump()
+		f.cond.Broadcast()
+		return n, nil
+	}
+}
+
+// close marks end of stream; blocked readers drain and then see EOF.
+func (f *fifo) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.bump()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// fail poisons the FIFO, waking everyone with err.
+func (f *fifo) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.bump()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// endpoints used by TaskCtx
+
+type fifoWriter struct {
+	f    *fifo
+	name string
+}
+
+func (w *fifoWriter) Write(data []byte) error { return w.f.write(data) }
+func (w *fifoWriter) Close()                  { w.f.close() }
+
+type fifoReader struct {
+	f    *fifo
+	idx  int
+	name string
+}
+
+func (r *fifoReader) ReadFull(buf []byte) error { return r.f.readFull(r.idx, buf) }
+
+func (r *fifoReader) ReadSome(buf []byte) (int, error) { return r.f.readSome(r.idx, buf) }
+
+// sanity check during construction
+func checkCapacity(s *Stream) error {
+	if s.BufBytes <= 0 {
+		return fmt.Errorf("kpn: stream %s: capacity %d", s.Name, s.BufBytes)
+	}
+	return nil
+}

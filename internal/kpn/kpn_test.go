@@ -1,0 +1,621 @@
+package kpn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func pipelineGraph(buf int) *Graph {
+	g := NewGraph("pipe")
+	g.AddTask("src", "source").AddOut("out")
+	g.AddTask("mid", "double").AddIn("in").AddOut("out")
+	g.AddTask("dst", "sink").AddIn("in")
+	g.MustConnect("src.out", buf, "mid.in")
+	g.MustConnect("mid.out", buf, "dst.in")
+	return g
+}
+
+func TestGraphValidateOK(t *testing.T) {
+	if err := pipelineGraph(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{"duplicate task", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o")
+			g.AddTask("a", "f").AddIn("i")
+			g.MustConnect("a.o", 4, "a.i")
+			return g
+		}},
+		{"unconnected port", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o")
+			return g
+		}},
+		{"missing task endpoint", func() *Graph {
+			g := pipelineGraph(8)
+			g.MustConnect("ghost.x", 4, "mid.in")
+			return g
+		}},
+		{"wrong direction", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o").AddOut("o2")
+			g.AddTask("b", "f").AddIn("i")
+			g.MustConnect("a.o", 4, "b.i")
+			g.MustConnect("a.o2", 4, "a.o") // consumer is an out port
+			return g
+		}},
+		{"zero buffer", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o")
+			g.AddTask("b", "f").AddIn("i")
+			g.MustConnect("a.o", 0, "b.i")
+			return g
+		}},
+		{"double connection", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o")
+			g.AddTask("b", "f").AddIn("i")
+			g.MustConnect("a.o", 4, "b.i")
+			g.MustConnect("a.o", 4, "b.i")
+			return g
+		}},
+		{"duplicate port", func() *Graph {
+			g := NewGraph("g")
+			g.AddTask("a", "f").AddOut("o").AddOut("o")
+			g.AddTask("b", "f").AddIn("i")
+			g.MustConnect("a.o", 4, "b.i")
+			return g
+		}},
+	}
+	for _, c := range cases {
+		if err := c.build().Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestConnectBadRef(t *testing.T) {
+	g := NewGraph("g")
+	if _, err := g.Connect("noport", []string{"a.b"}, 4); err == nil {
+		t.Fatal("bad from accepted")
+	}
+	if _, err := g.Connect("a.b", []string{"nope"}, 4); err == nil {
+		t.Fatal("bad to accepted")
+	}
+}
+
+func TestStreamFor(t *testing.T) {
+	g := pipelineGraph(8)
+	s := g.StreamFor(PortRef{"mid", "in"})
+	if s == nil || s.From != (PortRef{"src", "out"}) {
+		t.Fatalf("stream = %+v", s)
+	}
+	if g.StreamFor(PortRef{"nobody", "x"}) != nil {
+		t.Fatal("phantom stream")
+	}
+}
+
+// runPipeline executes src→mid→dst where mid doubles each byte.
+func runPipeline(t *testing.T, buf, n int) []byte {
+	t.Helper()
+	g := pipelineGraph(buf)
+	var out bytes.Buffer
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			for i := 0; i < n; i++ {
+				if err := c.Write("out", []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"mid": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			for {
+				err := c.Read("in", b)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := c.Write("out", []byte{b[0] * 2}); err != nil {
+					return err
+				}
+			}
+		},
+		"dst": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			for {
+				err := c.Read("in", b)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				out.WriteByte(b[0])
+			}
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestPipelineRuns(t *testing.T) {
+	got := runPipeline(t, 16, 100)
+	if len(got) != 100 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	for i, b := range got {
+		if b != byte(i)*2 {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestKahnDeterminismAcrossBufferSizes(t *testing.T) {
+	// Kahn's theorem: stream contents are independent of scheduling, and
+	// buffer size only affects scheduling. Outputs must be identical.
+	want := runPipeline(t, 1024, 300)
+	for _, buf := range []int{1, 2, 3, 7, 64} {
+		got := runPipeline(t, buf, 300)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("buffer %d changed the output", buf)
+		}
+	}
+}
+
+func TestMultiConsumerBroadcast(t *testing.T) {
+	g := NewGraph("bcast")
+	g.AddTask("src", "f").AddOut("out")
+	g.AddTask("a", "f").AddIn("in")
+	g.AddTask("b", "f").AddIn("in")
+	g.MustConnect("src.out", 4, "a.in", "b.in")
+	var ga, gb []byte
+	collect := func(dst *[]byte) TaskFunc {
+		return func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			for {
+				err := c.Read("in", b)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				*dst = append(*dst, b[0])
+			}
+		}
+	}
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			return c.Write("out", []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+		},
+		"a": collect(&ga),
+		"b": collect(&gb),
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !bytes.Equal(ga, want) || !bytes.Equal(gb, want) {
+		t.Fatalf("a=%v b=%v", ga, gb)
+	}
+}
+
+func TestMultiConsumerSlowestGates(t *testing.T) {
+	// With a 4-byte buffer and consumer b reading nothing until a has
+	// read everything, the producer must stall on b; then b drains.
+	g := NewGraph("gate")
+	g.AddTask("src", "f").AddOut("out")
+	g.AddTask("a", "f").AddIn("in")
+	g.AddTask("b", "f").AddIn("in")
+	g.MustConnect("src.out", 4, "a.in", "b.in")
+	var mu sync.Mutex
+	var order []string
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	release := make(chan struct{})
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			data := make([]byte, 16)
+			err := c.Write("out", data)
+			record("src-done")
+			return err
+		},
+		"a": func(c *TaskCtx) error {
+			b := make([]byte, 4)
+			if err := c.Read("in", b); err != nil {
+				return err
+			}
+			record("a4")
+			close(release) // only now may b start reading
+			return c.Read("in", make([]byte, 12))
+		},
+		"b": func(c *TaskCtx) error {
+			<-release
+			record("b-read")
+			return c.Read("in", make([]byte, 16))
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Causality through the 4-byte buffer: src can complete its 16-byte
+	// write only after the slowest consumer (b) has read at least 12
+	// bytes, and b starts only after a read its first 4. So the order
+	// must be a4, b-read, src-done.
+	idx := map[string]int{}
+	for i, s := range order {
+		idx[s] = i
+	}
+	if !(idx["a4"] < idx["b-read"] && idx["b-read"] < idx["src-done"]) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two tasks each waiting for the other's data: classic deadlock.
+	g := NewGraph("dl")
+	g.AddTask("a", "f").AddIn("in").AddOut("out")
+	g.AddTask("b", "f").AddIn("in").AddOut("out")
+	g.MustConnect("a.out", 4, "b.in")
+	g.MustConnect("b.out", 4, "a.in")
+	readFirst := func(c *TaskCtx) error {
+		b := make([]byte, 1)
+		if err := c.Read("in", b); err != nil && err != io.EOF {
+			return err
+		}
+		return nil
+	}
+	err := Run(g, map[string]TaskFunc{"a": readFirst, "b": readFirst})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestUndersizedBufferDeadlocks(t *testing.T) {
+	// Two tasks that each write 8 bytes to the other before reading.
+	// With 8-byte buffers both writes land and the network completes;
+	// with 4-byte buffers both writers stall forever — the buffer-sizing
+	// sensitivity the paper's Section 2.2 coupling discussion is about.
+	run := func(buf int) error {
+		g := NewGraph("small")
+		g.AddTask("a", "f").AddIn("in").AddOut("out")
+		g.AddTask("b", "f").AddIn("in").AddOut("out")
+		g.MustConnect("a.out", buf, "b.in")
+		g.MustConnect("b.out", buf, "a.in")
+		writeThenRead := func(c *TaskCtx) error {
+			if err := c.Write("out", make([]byte, 8)); err != nil {
+				return err
+			}
+			return c.Read("in", make([]byte, 8))
+		}
+		return Run(g, map[string]TaskFunc{"a": writeThenRead, "b": writeThenRead})
+	}
+	if err := run(8); err != nil {
+		t.Fatalf("8-byte buffers must succeed, got %v", err)
+	}
+	err := run(4)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	g := pipelineGraph(8)
+	boom := errors.New("boom")
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error { return c.Write("out", make([]byte, 100)) },
+		"mid": func(c *TaskCtx) error { return boom },
+		"dst": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			for {
+				if err := c.Read("in", b); err != nil {
+					if err == io.EOF {
+						return nil
+					}
+					return err
+				}
+			}
+		},
+	}
+	if err := Run(g, funcs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	g := pipelineGraph(8)
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error { panic("ouch") },
+		"mid": func(c *TaskCtx) error {
+			err := c.Read("in", make([]byte, 1))
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		},
+		"dst": func(c *TaskCtx) error {
+			err := c.Read("in", make([]byte, 1))
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		},
+	}
+	err := Run(g, funcs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMissingFunctionRejected(t *testing.T) {
+	g := pipelineGraph(8)
+	err := Run(g, map[string]TaskFunc{"src": nil})
+	if err == nil {
+		t.Fatal("expected missing-function error")
+	}
+}
+
+func TestFnFallback(t *testing.T) {
+	// Task "mid" has Fn "double"; binding by Fn name must work.
+	g := pipelineGraph(8)
+	done := false
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error { return c.Write("out", []byte{21}) },
+		"double": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			if err := c.Read("in", b); err != nil {
+				return err
+			}
+			return c.Write("out", []byte{b[0] * 2})
+		},
+		"sink": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			if err := c.Read("in", b); err != nil {
+				return err
+			}
+			done = b[0] == 42
+			return nil
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("fn fallback did not run")
+	}
+}
+
+func TestEOFMidRecord(t *testing.T) {
+	g := NewGraph("eof")
+	g.AddTask("src", "f").AddOut("out")
+	g.AddTask("dst", "f").AddIn("in")
+	g.MustConnect("src.out", 8, "dst.in")
+	var got error
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error { return c.Write("out", []byte{1, 2, 3}) },
+		"dst": func(c *TaskCtx) error {
+			got = c.Read("in", make([]byte, 5))
+			return nil
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	if got != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestQuickFIFOPreservesByteSequences(t *testing.T) {
+	// Property: arbitrary chunkings of writes and reads through a small
+	// FIFO deliver exactly the written byte sequence.
+	f := func(data []byte, chunks []uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		g := NewGraph("q")
+		g.AddTask("src", "f").AddOut("out")
+		g.AddTask("dst", "f").AddIn("in")
+		g.MustConnect("src.out", 5, "dst.in")
+		var out []byte
+		funcs := map[string]TaskFunc{
+			"src": func(c *TaskCtx) error {
+				rest := data
+				ci := 0
+				for len(rest) > 0 {
+					n := 1
+					if len(chunks) > 0 {
+						n = int(chunks[ci%len(chunks)])%3 + 1
+						ci++
+					}
+					if n > len(rest) {
+						n = len(rest)
+					}
+					if err := c.Write("out", rest[:n]); err != nil {
+						return err
+					}
+					rest = rest[n:]
+				}
+				return nil
+			},
+			"dst": func(c *TaskCtx) error {
+				b := make([]byte, 1)
+				for {
+					err := c.Read("in", b)
+					if err == io.EOF {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					out = append(out, b[0])
+				}
+			},
+		}
+		if err := Run(g, funcs); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := pipelineGraph(8).String()
+	for _, want := range []string{"graph pipe", "task src", "stream src.out"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLargeFanPipeline(t *testing.T) {
+	// A 10-stage chain moving 10 kB stresses handoff and close ordering.
+	g := NewGraph("chain")
+	const stages = 10
+	g.AddTask("t0", "src").AddOut("out")
+	for i := 1; i < stages; i++ {
+		g.AddTask(fmt.Sprintf("t%d", i), "relay").AddIn("in").AddOut("out")
+		g.MustConnect(fmt.Sprintf("t%d.out", i-1), 7, fmt.Sprintf("t%d.in", i))
+	}
+	g.AddTask("sink", "sink").AddIn("in")
+	g.MustConnect(fmt.Sprintf("t%d.out", stages-1), 7, "sink.in")
+	var n int
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			buf := make([]byte, 10000)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			return c.Write("out", buf)
+		},
+		"relay": func(c *TaskCtx) error {
+			b := make([]byte, 3)
+			for {
+				err := c.Read("in", b)
+				if err == io.EOF {
+					return nil
+				}
+				if err == io.ErrUnexpectedEOF {
+					return nil // tail shorter than 3
+				}
+				if err != nil {
+					return err
+				}
+				if err := c.Write("out", b); err != nil {
+					return err
+				}
+			}
+		},
+		"sink": func(c *TaskCtx) error {
+			b := make([]byte, 1)
+			for {
+				err := c.Read("in", b)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				n++
+			}
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	if n < 9999-2 || n > 10000 {
+		t.Fatalf("sank %d bytes", n)
+	}
+}
+
+func TestReadSome(t *testing.T) {
+	g := NewGraph("rs")
+	g.AddTask("src", "f").AddOut("out")
+	g.AddTask("dst", "f").AddIn("in")
+	g.MustConnect("src.out", 8, "dst.in")
+	var got []byte
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			for i := 0; i < 5; i++ {
+				if err := c.Write("out", []byte{byte(i), byte(i), byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"dst": func(c *TaskCtx) error {
+			buf := make([]byte, 4)
+			for {
+				n, err := c.ReadSome("in", buf)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if n < 1 || n > 4 {
+					return fmt.Errorf("n = %d", n)
+				}
+				got = append(got, buf[:n]...)
+			}
+		},
+	}
+	if err := Run(g, funcs); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	for i, b := range got {
+		if b != byte(i/3) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+	// Unknown port errors.
+	g2 := NewGraph("bad")
+	g2.AddTask("src", "f").AddOut("out")
+	g2.AddTask("dst", "f").AddIn("in")
+	g2.MustConnect("src.out", 8, "dst.in")
+	err := Run(g2, map[string]TaskFunc{
+		"src": func(c *TaskCtx) error { return c.Write("out", []byte{1}) },
+		"dst": func(c *TaskCtx) error {
+			_, err := c.ReadSome("nope", make([]byte, 1))
+			if err == nil {
+				return fmt.Errorf("unknown port accepted")
+			}
+			// Drain so src can finish.
+			return c.Read("in", make([]byte, 1))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package media implements a simplified MPEG-2-class video codec used as
+// the workload substrate for the Eclipse architecture model.
+//
+// The paper's evaluation decodes and encodes MPEG-2; conformant MPEG-2 is
+// out of scope here, but the phenomena Eclipse is designed around depend
+// only on the *structure* of such codecs, which this package reproduces
+// faithfully:
+//
+//   - variable-length entropy coding (canonical Huffman over run/level
+//     events) so that the VLD workload is data dependent;
+//   - 8×8 block DCT with quantization and zigzag scanning;
+//   - macroblocks, motion estimation/compensation, and I/P/B frame types
+//     in MPEG GOP structures, so per-frame-type workload shifts between
+//     pipeline stages exactly as in Figure 10 of the paper;
+//   - a closed reconstruction loop, so encoder and decoder reference
+//     frames match bit-exactly and streams round-trip deterministically.
+//
+// The codec is organized both as a monolithic reference encoder/decoder
+// and as the individual pipeline stages (VLD, RLSQ, DCT, MC) with defined
+// inter-stage stream formats, which the Eclipse coprocessor models in
+// package copro execute as Kahn tasks.
+package media
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BitWriter assembles a bitstream MSB first.
+type BitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // bits currently in acc
+}
+
+// NewBitWriter returns an empty bit writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be at most 32.
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic("media: WriteBits n > 32")
+	}
+	w.acc = w.acc<<n | uint64(v)&((1<<n)-1)
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nacc))
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(b uint32) { w.WriteBits(b, 1) }
+
+// WriteUE appends v in unsigned Exp-Golomb code.
+func (w *BitWriter) WriteUE(v uint32) {
+	vv := uint64(v) + 1
+	n := uint(0)
+	for t := vv; t > 1; t >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	// vv has n+1 significant bits; write them all.
+	w.WriteBits(uint32(vv>>n), 1)
+	if n > 0 {
+		w.WriteBits(uint32(vv&((1<<n)-1)), n)
+	}
+}
+
+// WriteSE appends v in signed Exp-Golomb code (0, 1, -1, 2, -2, ...).
+func (w *BitWriter) WriteSE(v int32) {
+	if v <= 0 {
+		w.WriteUE(uint32(-2 * v))
+	} else {
+		w.WriteUE(uint32(2*v - 1))
+	}
+}
+
+// Align pads with zero bits to the next byte boundary.
+func (w *BitWriter) Align() {
+	if w.nacc > 0 {
+		w.WriteBits(0, 8-w.nacc)
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Bytes flushes to a byte boundary and returns the accumulated stream.
+func (w *BitWriter) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// ErrBitstream reports a malformed or truncated bitstream.
+var ErrBitstream = errors.New("media: malformed bitstream")
+
+// BitReader consumes a bitstream MSB first. Read errors are sticky: after
+// the first failure all subsequent reads return zero values and Err
+// reports the failure. PastEnd distinguishes "ran out of bytes" (which a
+// streaming consumer can cure by calling Extend and retrying from a saved
+// position) from genuine corruption.
+type BitReader struct {
+	buf     []byte
+	pos     int // bit position
+	err     error
+	pastEnd bool
+}
+
+// NewBitReader reads from data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// Err returns the sticky error, if any.
+func (r *BitReader) Err() error { return r.err }
+
+// BitPos returns the current position in bits from the stream start.
+func (r *BitReader) BitPos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+func (r *BitReader) fail() uint32 {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: read past end at bit %d", ErrBitstream, r.pos)
+		r.pastEnd = true
+	}
+	return 0
+}
+
+// failCorrupt records a non-recoverable stream error (one that more input
+// bytes cannot cure).
+func (r *BitReader) failCorrupt(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBitstream, fmt.Sprintf(format, args...))
+	}
+}
+
+// PastEnd reports whether the sticky error was caused by running out of
+// input bytes (curable with Extend) rather than corruption.
+func (r *BitReader) PastEnd() bool { return r.pastEnd }
+
+// Extend appends more input bytes, for streaming consumers that receive
+// the bitstream in chunks.
+func (r *BitReader) Extend(data []byte) { r.buf = append(r.buf, data...) }
+
+// readerMark is a saved reader position for retry-after-extend.
+type readerMark struct {
+	pos     int
+	err     error
+	pastEnd bool
+}
+
+// Mark saves the reader position and error state.
+func (r *BitReader) Mark() readerMark { return readerMark{r.pos, r.err, r.pastEnd} }
+
+// Reset restores a previously saved position and error state.
+func (r *BitReader) Reset(m readerMark) { r.pos, r.err, r.pastEnd = m.pos, m.err, m.pastEnd }
+
+// Compact discards fully consumed bytes from the front of the buffer and
+// returns how many were dropped, bounding memory for streaming use.
+func (r *BitReader) Compact() int {
+	n := r.pos >> 3
+	if n == 0 {
+		return 0
+	}
+	r.buf = r.buf[n:]
+	r.pos -= n * 8
+	return n
+}
+
+// ReadBits reads n (≤ 32) bits MSB first.
+func (r *BitReader) ReadBits(n uint) uint32 {
+	if n > 32 {
+		panic("media: ReadBits n > 32")
+	}
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+int(n) > len(r.buf)*8 {
+		return r.fail()
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := uint(7 - r.pos&7)
+		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx)&1
+		r.pos++
+	}
+	return v
+}
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() uint32 { return r.ReadBits(1) }
+
+// PeekBits returns up to n (≤ 32) upcoming bits without consuming them,
+// zero-padded past the end of the stream (for VLC decode at stream tail).
+func (r *BitReader) PeekBits(n uint) uint32 {
+	if n > 32 {
+		panic("media: PeekBits n > 32")
+	}
+	save := r.pos
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		if r.pos >= len(r.buf)*8 {
+			v <<= 1
+			r.pos++
+			continue
+		}
+		byteIdx := r.pos >> 3
+		bitIdx := uint(7 - r.pos&7)
+		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx)&1
+		r.pos++
+	}
+	r.pos = save
+	return v
+}
+
+// Skip advances the read position by n bits.
+func (r *BitReader) Skip(n uint) {
+	if r.err != nil {
+		return
+	}
+	if r.pos+int(n) > len(r.buf)*8 {
+		r.fail()
+		return
+	}
+	r.pos += int(n)
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func (r *BitReader) ReadUE() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	n := uint(0)
+	for r.ReadBits(1) == 0 {
+		if r.err != nil {
+			return 0
+		}
+		n++
+		if n > 32 {
+			r.failCorrupt("exp-golomb prefix longer than 32 at bit %d", r.pos)
+			return 0
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	rest := r.ReadBits(n)
+	return (1<<n | rest) - 1
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func (r *BitReader) ReadSE() int32 {
+	u := r.ReadUE()
+	if u&1 == 1 {
+		return int32(u/2) + 1
+	}
+	return -int32(u / 2)
+}
+
+// AlignRead advances to the next byte boundary.
+func (r *BitReader) AlignRead() {
+	if rem := r.pos & 7; rem != 0 {
+		r.Skip(uint(8 - rem))
+	}
+}

@@ -1,0 +1,238 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 1)
+	w.WriteBits(0x12345, 20)
+	data := w.Bytes()
+	r := NewBitReader(data)
+	if v := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("got %b", v)
+	}
+	if v := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x", v)
+	}
+	if v := r.ReadBits(1); v != 0 {
+		t.Fatalf("got %d", v)
+	}
+	if v := r.ReadBits(20); v != 0x12345 {
+		t.Fatalf("got %x", v)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBitLenTracksWrites(t *testing.T) {
+	w := NewBitWriter()
+	if w.BitLen() != 0 {
+		t.Fatal("empty writer BitLen != 0")
+	}
+	w.WriteBits(1, 5)
+	if w.BitLen() != 5 {
+		t.Fatalf("BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(1, 11)
+	if w.BitLen() != 16 {
+		t.Fatalf("BitLen = %d", w.BitLen())
+	}
+}
+
+func TestQuickBitsRoundTrip(t *testing.T) {
+	f := func(vals []uint32, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewBitWriter()
+		type pair struct {
+			v uint32
+			n uint
+		}
+		var pairs []pair
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%32) + 1
+			v := vals[i] & (1<<width - 1)
+			pairs = append(pairs, pair{v, width})
+			w.WriteBits(v, width)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, p := range pairs {
+			if got := r.ReadBits(p.n); got != p.v {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpGolombKnownCodes(t *testing.T) {
+	// ue(0) = "1", ue(1) = "010", ue(2) = "011", ue(3) = "00100"
+	cases := []struct {
+		v    uint32
+		bits int
+	}{{0, 1}, {1, 3}, {2, 3}, {3, 5}, {6, 5}, {7, 7}}
+	for _, c := range cases {
+		w := NewBitWriter()
+		w.WriteUE(c.v)
+		if w.BitLen() != c.bits {
+			t.Errorf("ue(%d) length = %d, want %d", c.v, w.BitLen(), c.bits)
+		}
+		r := NewBitReader(w.Bytes())
+		if got := r.ReadUE(); got != c.v {
+			t.Errorf("ue(%d) decoded as %d", c.v, got)
+		}
+	}
+}
+
+func TestQuickExpGolombRoundTrip(t *testing.T) {
+	fu := func(vs []uint32) bool {
+		w := NewBitWriter()
+		for _, v := range vs {
+			v %= 1 << 24
+			w.WriteUE(v)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vs {
+			if r.ReadUE() != v%(1<<24) {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(fu, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("unsigned: %v", err)
+	}
+	fs := func(vs []int32) bool {
+		w := NewBitWriter()
+		for _, v := range vs {
+			v %= 1 << 20
+			w.WriteSE(v)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vs {
+			if r.ReadSE() != v%(1<<20) {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(fs, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("signed: %v", err)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0xAB, 8)
+	w.WriteBits(0xCD, 8)
+	r := NewBitReader(w.Bytes())
+	if v := r.PeekBits(8); v != 0xAB {
+		t.Fatalf("peek = %x", v)
+	}
+	if r.BitPos() != 0 {
+		t.Fatalf("pos moved to %d", r.BitPos())
+	}
+	if v := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("read = %x", v)
+	}
+}
+
+func TestPeekPastEndZeroPads(t *testing.T) {
+	r := NewBitReader([]byte{0xF0})
+	if v := r.PeekBits(16); v != 0xF000 {
+		t.Fatalf("peek = %04x, want f000", v)
+	}
+	if r.Err() != nil {
+		t.Fatal("peek must not set error")
+	}
+}
+
+func TestReadPastEndIsStickyError(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	r.ReadBits(8)
+	if r.Err() != nil {
+		t.Fatal("unexpected early error")
+	}
+	if v := r.ReadBits(4); v != 0 {
+		t.Fatalf("over-read returned %d", v)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if v := r.ReadBits(1); v != 0 || r.Err() == nil {
+		t.Fatal("error must stick")
+	}
+}
+
+func TestAlignReadAndWrite(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(1, 3)
+	w.Align()
+	w.WriteBits(0x5A, 8)
+	data := w.Bytes()
+	if len(data) != 2 {
+		t.Fatalf("len = %d", len(data))
+	}
+	r := NewBitReader(data)
+	r.ReadBits(3)
+	r.AlignRead()
+	if v := r.ReadBits(8); v != 0x5A {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	r := NewBitReader([]byte{0x00, 0xFF})
+	r.Skip(8)
+	if v := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x", v)
+	}
+	r.Skip(1)
+	if r.Err() == nil {
+		t.Fatal("skip past end must error")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewBitReader(make([]byte, 4))
+	if r.Remaining() != 32 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 27 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestUnaryLikeStress(t *testing.T) {
+	// Long random mixed sequences exercise the accumulator boundaries.
+	rng := rand.New(rand.NewSource(3))
+	w := NewBitWriter()
+	var vals []uint32
+	var widths []uint
+	for i := 0; i < 5000; i++ {
+		width := uint(rng.Intn(32) + 1)
+		v := rng.Uint32() & (1<<width - 1)
+		vals = append(vals, v)
+		widths = append(widths, width)
+		w.WriteBits(v, width)
+	}
+	r := NewBitReader(w.Bytes())
+	for i := range vals {
+		if got := r.ReadBits(widths[i]); got != vals[i] {
+			t.Fatalf("i=%d got %x want %x", i, got, vals[i])
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package media
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGOPTypes(t *testing.T) {
+	types := GOPTypes(13, 12, 3)
+	want := "IBBPBBPBBPBBI"
+	var sb strings.Builder
+	for _, ty := range types {
+		sb.WriteString(ty.String())
+	}
+	if sb.String() != want {
+		t.Fatalf("types = %s, want %s", sb.String(), want)
+	}
+}
+
+func TestGOPTypesTrailingBPromoted(t *testing.T) {
+	types := GOPTypes(5, 12, 3)
+	if types[4] != FrameP {
+		t.Fatalf("trailing frame = %v, want P", types[4])
+	}
+}
+
+func TestGOPTypesNoBFrames(t *testing.T) {
+	types := GOPTypes(6, 4, 1)
+	var sb strings.Builder
+	for _, ty := range types {
+		sb.WriteString(ty.String())
+	}
+	if sb.String() != "IPPPIP" {
+		t.Fatalf("types = %s", sb.String())
+	}
+}
+
+func TestCodedOrder(t *testing.T) {
+	// display I B B P B B P  ->  coded I P B B P B B
+	types := []FrameType{FrameI, FrameB, FrameB, FrameP, FrameB, FrameB, FrameP}
+	order := CodedOrder(types)
+	want := []int{0, 3, 1, 2, 6, 4, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCodedOrderIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 12, 25, 48} {
+		types := GOPTypes(n, 12, 3)
+		order := CodedOrder(types)
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("n=%d: order %v not a permutation", n, order)
+			}
+			seen[i] = true
+		}
+		// Every B frame must appear after its backward reference.
+		pos := make([]int, n)
+		for p, i := range order {
+			pos[i] = p
+		}
+		for i, ty := range types {
+			if ty != FrameB {
+				continue
+			}
+			// find next reference in display order
+			for j := i + 1; j < n; j++ {
+				if types[j] != FrameB {
+					if pos[i] < pos[j] {
+						t.Fatalf("n=%d: B frame %d coded before its backward ref %d", n, i, j)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestSeqHeaderRoundTrip(t *testing.T) {
+	h := SeqHeader{MBCols: 11, MBRows: 9, Q: 13, GOPN: 12, GOPM: 3, Frames: 250}
+	w := NewBitWriter()
+	WriteSeqHeader(w, &h)
+	r := NewBitReader(w.Bytes())
+	got, err := ParseSeqHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	if got.W() != 176 || got.H() != 144 || got.MBCount() != 99 {
+		t.Fatalf("derived dims wrong: %dx%d", got.W(), got.H())
+	}
+}
+
+func TestSeqHeaderBadMagic(t *testing.T) {
+	r := NewBitReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if _, err := ParseSeqHeader(r); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFrameHdrRoundTrip(t *testing.T) {
+	for _, ty := range []FrameType{FrameI, FrameP, FrameB} {
+		w := NewBitWriter()
+		WriteFrameHdr(w, FrameHdr{Type: ty, TRef: 777})
+		r := NewBitReader(w.Bytes())
+		got, err := ParseFrameHdr(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != ty || got.TRef != 777 {
+			t.Fatalf("got %+v", got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []CodecConfig{
+		{W: 17, H: 16, Q: 4, GOPN: 4, GOPM: 1, SearchRange: 4},  // width not multiple
+		{W: 16, H: 16, Q: 0, GOPN: 4, GOPM: 1, SearchRange: 4},  // q too small
+		{W: 16, H: 16, Q: 64, GOPN: 4, GOPM: 1, SearchRange: 4}, // q too big
+		{W: 16, H: 16, Q: 4, GOPN: 0, GOPM: 1, SearchRange: 4},  // bad gop
+		{W: 16, H: 16, Q: 4, GOPN: 4, GOPM: 5, SearchRange: 4},  // M > N
+		{W: 16, H: 16, Q: 4, GOPN: 4, GOPM: 1, SearchRange: 99}, // range
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := DefaultCodec(64, 48)
+	if err := good.validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// encodeTestSequence compresses a small synthetic sequence and returns
+// everything needed by round-trip assertions.
+func encodeTestSequence(t *testing.T, cfg CodecConfig, n int) ([]byte, []*Frame, []*Frame, *EncodeStats) {
+	t.Helper()
+	src := NewSource(DefaultSource(cfg.W, cfg.H))
+	frames := src.Frames(n)
+	stream, recon, stats, err := Encode(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, frames, recon, stats
+}
+
+func TestEncodeDecodeBitExact(t *testing.T) {
+	cfg := DefaultCodec(64, 48)
+	stream, _, recon, _ := encodeTestSequence(t, cfg, 9)
+	res, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := res.DisplayFrames()
+	if len(disp) != 9 {
+		t.Fatalf("decoded %d frames", len(disp))
+	}
+	for i := range disp {
+		if disp[i] == nil {
+			t.Fatalf("frame %d missing", i)
+		}
+		if !disp[i].Equal(recon[i]) {
+			t.Fatalf("frame %d: decoder output differs from encoder reconstruction", i)
+		}
+	}
+}
+
+func TestEncodeDecodeQualityReasonable(t *testing.T) {
+	cfg := DefaultCodec(64, 48)
+	cfg.Q = 4
+	stream, frames, _, _ := encodeTestSequence(t, cfg, 7)
+	res, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := res.DisplayFrames()
+	for i := range disp {
+		p := frames[i].PSNR(disp[i])
+		if p < 24 {
+			t.Fatalf("frame %d PSNR = %.1f dB, want ≥ 24", i, p)
+		}
+	}
+}
+
+func TestEncodeDecodeIPPPOnly(t *testing.T) {
+	cfg := DefaultCodec(48, 32)
+	cfg.GOPM = 1
+	cfg.GOPN = 4
+	stream, _, recon, stats := encodeTestSequence(t, cfg, 8)
+	for _, f := range stats.Frames {
+		if f.Type == FrameB {
+			t.Fatal("IPPP stream must not contain B frames")
+		}
+	}
+	res, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.DisplayFrames() {
+		if !f.Equal(recon[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestEncodeSingleFrame(t *testing.T) {
+	cfg := DefaultCodec(32, 32)
+	stream, _, recon, stats := encodeTestSequence(t, cfg, 1)
+	if stats.Frames[0].Type != FrameI {
+		t.Fatal("single frame must be I")
+	}
+	res, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coded[0].Frame.Equal(recon[0]) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestEncodeStatsShape(t *testing.T) {
+	cfg := DefaultCodec(64, 48)
+	_, _, _, stats := encodeTestSequence(t, cfg, 13)
+	if len(stats.Frames) != 13 {
+		t.Fatalf("stats for %d frames", len(stats.Frames))
+	}
+	// I-frames must carry more coefficients than B-frames on average —
+	// this is the data dependence behind Figure 10.
+	var iNZ, iCount, bNZ, bCount int
+	var pSearch, bSearch int
+	for _, f := range stats.Frames {
+		switch f.Type {
+		case FrameI:
+			iNZ += f.Nonzero
+			iCount++
+			if f.SearchOps != 0 {
+				t.Fatal("I-frames must not search")
+			}
+		case FrameB:
+			bNZ += f.Nonzero
+			bCount++
+			bSearch += f.SearchOps
+		case FrameP:
+			pSearch += f.SearchOps
+		}
+	}
+	if iCount == 0 || bCount == 0 {
+		t.Fatal("sequence lacks I or B frames")
+	}
+	if iNZ/iCount <= bNZ/bCount {
+		t.Fatalf("I nz/frame %d not above B nz/frame %d", iNZ/iCount, bNZ/bCount)
+	}
+	// B frames search two references.
+	if bSearch == 0 || pSearch == 0 {
+		t.Fatal("missing search ops")
+	}
+	if stats.TotalBits() == 0 {
+		t.Fatal("no bits")
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	cfg := DefaultCodec(32, 32)
+	if _, _, _, err := Encode(cfg, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, _, err := Encode(cfg, []*Frame{NewFrame(64, 64)}); err == nil {
+		t.Fatal("wrong-size frame accepted")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	cfg := DefaultCodec(32, 32)
+	stream, _, _, _ := encodeTestSequence(t, cfg, 4)
+	for _, cut := range []int{0, 3, len(stream) / 2, len(stream) - 2} {
+		if _, err := Decode(stream[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeCorruptedStream(t *testing.T) {
+	cfg := DefaultCodec(32, 32)
+	stream, _, _, _ := encodeTestSequence(t, cfg, 4)
+	// Corrupt the frame marker of the second frame: find it crudely by
+	// flipping bytes early in the stream; decode must either error or at
+	// minimum not panic.
+	for pos := 8; pos < 24 && pos < len(stream); pos++ {
+		cp := make([]byte, len(stream))
+		copy(cp, stream)
+		cp[pos] ^= 0xFF
+		_, _ = Decode(cp) // must not panic
+	}
+}
+
+func TestSkipMacroblocksOccur(t *testing.T) {
+	// Static content under P coding must produce skip macroblocks.
+	cfg := DefaultCodec(64, 48)
+	cfg.GOPM = 1
+	cfg.GOPN = 8
+	f := NewFrame(64, 48)
+	for i := range f.Pix {
+		f.Pix[i] = byte(i % 251)
+	}
+	frames := []*Frame{f.Clone(), f.Clone(), f.Clone()}
+	_, _, stats, err := Encode(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames[1].SkipMBs == 0 {
+		t.Fatal("static P frame produced no skip macroblocks")
+	}
+}
+
+func TestSceneCutForcesIntraMBs(t *testing.T) {
+	cfg := DefaultCodec(64, 48)
+	cfg.GOPM = 1
+	cfg.GOPN = 100 // only one I frame; the cut lands on a P frame
+	scfg := DefaultSource(64, 48)
+	scfg.SceneCut = 3
+	frames := NewSource(scfg).Frames(6)
+	_, _, stats, err := Encode(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames[3].IntraMBs == 0 {
+		t.Fatal("scene cut produced no intra macroblocks in P frame")
+	}
+}

@@ -1,0 +1,202 @@
+package media
+
+import "math"
+
+// 8×8 integer DCT/IDCT with 12-bit fixed-point basis tables.
+//
+// The forward and inverse transforms share one basis table, so the
+// encoder's local reconstruction (which feeds reference frames) is
+// bit-exact with the decoder's output — the property that keeps P- and
+// B-frame prediction drift-free across the whole pipeline.
+
+// dctTab[u][x] = round( alpha(u)/2 * cos((2x+1)uπ/16) * 4096 ),
+// alpha(0) = 1/sqrt2, alpha(u>0) = 1.
+var dctTab [8][8]int32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		alpha := 1.0
+		if u == 0 {
+			alpha = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			v := alpha / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			dctTab[u][x] = int32(math.Round(v * 4096))
+		}
+	}
+}
+
+// Block is an 8×8 array of 16-bit samples or coefficients in row-major
+// order, the unit of work of the DCT and RLSQ coprocessors.
+type Block = [64]int16
+
+const fixRound = 1 << 11 // rounding constant for the 12-bit fixed point
+
+// FDCT computes the forward 8×8 DCT of src into dst (row-major). Inputs
+// are expected in roughly [-256, 255] (pixel residuals or level-shifted
+// intra pixels); outputs fit comfortably in int16.
+func FDCT(src, dst *Block) {
+	var tmp [64]int32
+	// rows: tmp[y][u] = sum_x src[y][x] * tab[u][x]
+	for y := 0; y < 8; y++ {
+		row := src[y*8 : y*8+8 : y*8+8]
+		for u := 0; u < 8; u++ {
+			var s int32
+			tab := &dctTab[u]
+			for x := 0; x < 8; x++ {
+				s += int32(row[x]) * tab[x]
+			}
+			tmp[y*8+u] = (s + fixRound) >> 12
+		}
+	}
+	// cols: dst[v][u] = sum_y tmp[y][u] * tab[v][y]
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s int32
+			tab := &dctTab[v]
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * tab[y]
+			}
+			dst[v*8+u] = clamp16((s + fixRound) >> 12)
+		}
+	}
+}
+
+// IDCT computes the inverse 8×8 DCT of src into dst (row-major). It is
+// the deterministic inverse used by both the encoder's reconstruction
+// loop and the decoder, so the two stay bit-exact.
+func IDCT(src, dst *Block) {
+	var tmp [64]int32
+	// rows: tmp[v][x] = sum_u src[v][u] * tab[u][x]
+	for v := 0; v < 8; v++ {
+		row := src[v*8 : v*8+8 : v*8+8]
+		for x := 0; x < 8; x++ {
+			var s int32
+			for u := 0; u < 8; u++ {
+				s += int32(row[u]) * dctTab[u][x]
+			}
+			tmp[v*8+x] = (s + fixRound) >> 12
+		}
+	}
+	// cols: dst[y][x] = sum_v tmp[v][x] * tab[v][y]
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var s int32
+			for v := 0; v < 8; v++ {
+				s += tmp[v*8+x] * dctTab[v][y]
+			}
+			dst[y*8+x] = clamp16((s + fixRound) >> 12)
+		}
+	}
+}
+
+func clamp16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// zigzag[i] gives the row-major index of the i-th coefficient in zigzag
+// scan order (the standard 8×8 zigzag of MPEG/JPEG).
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// unzigzag is the inverse permutation: unzigzag[rowMajor] = zigzag index.
+var unzigzag [64]int
+
+func init() {
+	for i, p := range zigzag {
+		unzigzag[p] = i
+	}
+}
+
+// ZigzagScan permutes a row-major coefficient block into zigzag order.
+func ZigzagScan(src, dst *Block) {
+	for i, p := range zigzag {
+		dst[i] = src[p]
+	}
+}
+
+// InverseZigzag permutes a zigzag-ordered block back to row-major order
+// (the inverse-scan step of the RLSQ coprocessor).
+func InverseZigzag(src, dst *Block) {
+	for i, p := range zigzag {
+		dst[p] = src[i]
+	}
+}
+
+// QuantizeInter divides coefficients by 2q with truncation toward zero
+// (a deadzone quantizer, as MPEG-2 uses for non-intra blocks). The
+// deadzone keeps small prediction residuals — quantization-error
+// oscillation and sensor noise — from producing coefficients, which is
+// what makes skip macroblocks and cheap B frames possible.
+func QuantizeInter(src, dst *Block, q int) {
+	d := int32(2 * q)
+	for i, c := range src {
+		lvl := int32(c) / d
+		if lvl > MaxLevel {
+			lvl = MaxLevel
+		}
+		if lvl < -MaxLevel {
+			lvl = -MaxLevel
+		}
+		dst[i] = int16(lvl)
+	}
+}
+
+// Quantize divides coefficients by 2q with symmetric rounding (used for
+// intra blocks) and clamps levels to the escape-codable range. q must be
+// ≥ 1.
+func Quantize(src, dst *Block, q int) {
+	d := int32(2 * q)
+	half := d / 2
+	for i, c := range src {
+		v := int32(c)
+		var lvl int32
+		if v >= 0 {
+			lvl = (v + half) / d
+		} else {
+			lvl = -((-v + half) / d)
+		}
+		if lvl > MaxLevel {
+			lvl = MaxLevel
+		}
+		if lvl < -MaxLevel {
+			lvl = -MaxLevel
+		}
+		dst[i] = int16(lvl)
+	}
+}
+
+// Dequantize multiplies levels by 2q (the inverse-quantization step of
+// the RLSQ coprocessor).
+func Dequantize(src, dst *Block, q int) {
+	d := int32(2 * q)
+	for i, l := range src {
+		dst[i] = clamp16(int32(l) * d)
+	}
+}
+
+// NonzeroCount returns the number of nonzero coefficients in the block, a
+// proxy for entropy-coding work used in cost models and tests.
+func NonzeroCount(b *Block) int {
+	n := 0
+	for _, c := range b {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}

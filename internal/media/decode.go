@@ -1,0 +1,105 @@
+package media
+
+import "fmt"
+
+// DecodedFrame is one frame out of the decoder, in coded order.
+type DecodedFrame struct {
+	Hdr   FrameHdr
+	Frame *Frame
+}
+
+// DecodeResult is the full output of a reference decode.
+type DecodeResult struct {
+	Seq   SeqHeader
+	Coded []DecodedFrame // coded order, as they appear in the stream
+}
+
+// DisplayFrames returns the decoded frames sorted into display order.
+func (r *DecodeResult) DisplayFrames() []*Frame {
+	out := make([]*Frame, len(r.Coded))
+	for _, df := range r.Coded {
+		if int(df.Hdr.TRef) >= len(out) {
+			continue // malformed tref; keep what fits
+		}
+		out[df.Hdr.TRef] = df.Frame
+	}
+	return out
+}
+
+// Decode is the monolithic reference decoder, composed from the same
+// stage kernels (ParseMBSyntax, RLSQDecodeMB, IDCTMB, Predict,
+// Reconstruct) that the Eclipse coprocessor models run, so its output is
+// the ground truth for the pipelined decoders.
+func Decode(stream []byte) (*DecodeResult, error) {
+	r := NewBitReader(stream)
+	seq, err := ParseSeqHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &DecodeResult{Seq: seq}
+	var refs RefChain
+	for fi := 0; fi < seq.Frames; fi++ {
+		hdr, err := ParseFrameHdr(r)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", fi, err)
+		}
+		frame, err := decodeFrameBody(r, &seq, hdr, &refs)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", fi, err)
+		}
+		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: frame})
+		refs.Advance(frame, hdr.Type)
+	}
+	return res, nil
+}
+
+// decodeFrameBody decodes the macroblock layer of one frame.
+func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain) (*Frame, error) {
+	if hdr.Type != FrameI && refs.B == nil {
+		return nil, fmt.Errorf("%w: %v frame before first reference", ErrBitstream, hdr.Type)
+	}
+	if hdr.Type == FrameB && refs.A == nil {
+		return nil, fmt.Errorf("%w: B frame with a single reference", ErrBitstream)
+	}
+	frame := NewFrame(seq.W(), seq.H())
+	fwdRef, bwdRef := refs.Refs(hdr.Type)
+	var mvp MVPredictor
+	for mby := 0; mby < seq.MBRows; mby++ {
+		mvp.RowStart()
+		for mbx := 0; mbx < seq.MBCols; mbx++ {
+			dec, tok, err := ParseMBSyntax(r, hdr.Type, &mvp)
+			if err != nil {
+				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
+			}
+			var coef, resid [BlocksPerMB]Block
+			if err := RLSQDecodeMB(&tok, seq.Q, &coef); err != nil {
+				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
+			}
+			IDCTMB(&coef, tok.CBP, &resid)
+			x, y := mbx*MBSize, mby*MBSize
+			var pred, out MBPixels
+			PredictHP(&pred, dec.Mode, fwdRef, bwdRef, x, y, dec.FMV, dec.BMV, seq.HalfPel)
+			Reconstruct(&out, &pred, &resid)
+			frame.SetMB(mbx, mby, &out)
+		}
+	}
+	return frame, r.Err()
+}
+
+// parseBlockEvents reads one block's run/level events up to EOB.
+func parseBlockEvents(r *BitReader) ([]RunLevel, error) {
+	var events []RunLevel
+	for {
+		rl, eob, _ := DecodeRunLevel(r)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if eob {
+			return events, nil
+		}
+		events = append(events, rl)
+		if len(events) > 64 {
+			return nil, fmt.Errorf("%w: more than 64 events in a block", ErrBitstream)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRecRoundTrip(t *testing.T) {
+	for _, tag := range []byte{FrameRecHdr, FrameRecTok} {
+		h := FrameHdr{Type: FrameB, TRef: 1234}
+		buf := AppendFrameRec(nil, tag, h)
+		if len(buf) != FrameRecSize {
+			t.Fatalf("size = %d", len(buf))
+		}
+		got, err := ParseFrameRec(buf, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("got %+v", got)
+		}
+	}
+}
+
+func TestFrameRecErrors(t *testing.T) {
+	if _, err := ParseFrameRec([]byte{FrameRecHdr, 0}, FrameRecHdr); err == nil {
+		t.Fatal("short record accepted")
+	}
+	buf := AppendFrameRec(nil, FrameRecHdr, FrameHdr{})
+	if _, err := ParseFrameRec(buf, FrameRecTok); err == nil {
+		t.Fatal("wrong tag accepted")
+	}
+	buf[1] = 9 // invalid type
+	if _, err := ParseFrameRec(buf, FrameRecHdr); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestQuickMBHeaderRoundTrip(t *testing.T) {
+	f := func(mode uint8, fx, fy, bx, by int16) bool {
+		dec := MBDecision{
+			Mode: PredMode(mode % 5),
+			FMV:  MV{fx, fy},
+			BMV:  MV{bx, by},
+		}
+		buf := AppendMBHeader(nil, dec)
+		if len(buf) != MBHeaderSize {
+			return false
+		}
+		got, err := ParseMBHeader(buf)
+		return err == nil && got == dec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBHeaderBadMode(t *testing.T) {
+	buf := AppendMBHeader(nil, MBDecision{Mode: PredIntra})
+	buf[0] = 99
+	if _, err := ParseMBHeader(buf); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func randomTokenMB(rng *rand.Rand) TokenMB {
+	var tok TokenMB
+	for b := 0; b < BlocksPerMB; b++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		n := rng.Intn(20)
+		pos := 0
+		for k := 0; k < n && pos < 63; k++ {
+			run := rng.Intn(4)
+			if pos+run >= 64 {
+				break
+			}
+			lvl := int32(rng.Intn(2*MaxLevel+1) - MaxLevel)
+			if lvl == 0 {
+				lvl = 1
+			}
+			tok.Events[b] = append(tok.Events[b], RunLevel{Run: run, Level: lvl})
+			pos += run + 1
+		}
+		if len(tok.Events[b]) > 0 {
+			tok.CBP |= 1 << b
+		}
+	}
+	return tok
+}
+
+func TestTokenMBRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		tok := randomTokenMB(rng)
+		buf := AppendTokenMB(nil, &tok)
+		if len(buf) != TokenMBSize(&tok) {
+			t.Fatalf("size mismatch: %d vs %d", len(buf), TokenMBSize(&tok))
+		}
+		got, n, err := ParseTokenMB(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if got.CBP != tok.CBP {
+			t.Fatalf("cbp %x vs %x", got.CBP, tok.CBP)
+		}
+		for b := range tok.Events {
+			if len(got.Events[b]) != len(tok.Events[b]) {
+				t.Fatalf("block %d count", b)
+			}
+			for k := range tok.Events[b] {
+				if got.Events[b][k] != tok.Events[b][k] {
+					t.Fatalf("block %d event %d", b, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTokenMBEmptyCBP(t *testing.T) {
+	tok := TokenMB{}
+	buf := AppendTokenMB(nil, &tok)
+	if len(buf) != TokenLenSize+1 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	got, n, err := ParseTokenMB(buf)
+	if err != nil || n != TokenLenSize+1 || got.CBP != 0 {
+		t.Fatalf("got %+v n=%d err=%v", got, n, err)
+	}
+}
+
+func TestTokenMBLongRecordLength(t *testing.T) {
+	// A dense record exceeds 255 body bytes, exercising the second
+	// length-prefix byte.
+	var tok TokenMB
+	tok.CBP = 0x0F
+	for b := 0; b < BlocksPerMB; b++ {
+		for i := 0; i < 40; i++ {
+			tok.Events[b] = append(tok.Events[b], RunLevel{Run: 0, Level: int32(i + 1)})
+		}
+	}
+	buf := AppendTokenMB(nil, &tok)
+	if len(buf) <= TokenLenSize+255 {
+		t.Fatalf("record unexpectedly small: %d", len(buf))
+	}
+	got, n, err := ParseTokenMB(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got.TokenCount() != tok.TokenCount() {
+		t.Fatal("token count mismatch")
+	}
+}
+
+func TestTokenMBTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tok := randomTokenMB(rng)
+	for tok.CBP == 0 {
+		tok = randomTokenMB(rng)
+	}
+	buf := AppendTokenMB(nil, &tok)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ParseTokenMB(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickBlockRoundTrip(t *testing.T) {
+	f := func(vals [64]int16) bool {
+		b := Block(vals)
+		buf := AppendBlock(nil, &b)
+		if len(buf) != BlockBytes {
+			return false
+		}
+		var got Block
+		if err := ParseBlock(buf, &got); err != nil {
+			return false
+		}
+		return got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBBlocksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var blocks [BlocksPerMB]Block
+	for b := range blocks {
+		for i := range blocks[b] {
+			blocks[b][i] = int16(rng.Intn(65536) - 32768)
+		}
+	}
+	buf := AppendMBBlocks(nil, &blocks)
+	if len(buf) != MBCoefBytes {
+		t.Fatalf("len = %d", len(buf))
+	}
+	var got [BlocksPerMB]Block
+	if err := ParseMBBlocks(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != blocks {
+		t.Fatal("mismatch")
+	}
+	if err := ParseMBBlocks(buf[:100], &got); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

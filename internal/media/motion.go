@@ -1,0 +1,285 @@
+package media
+
+// Motion estimation and compensation on 16×16 macroblocks with full-pel
+// vectors. These are the kernels of the MC/ME coprocessor; prediction
+// uses edge-clamped reference access so vectors may point outside the
+// picture.
+
+// MV is a full-pel motion vector.
+type MV struct {
+	X, Y int16
+}
+
+// PredMode selects how a macroblock is predicted.
+type PredMode uint8
+
+const (
+	PredIntra PredMode = iota // no prediction: intra coded
+	PredFwd                   // forward prediction (P and B frames)
+	PredBwd                   // backward prediction (B frames only)
+	PredBi                    // averaged bi-directional prediction (B frames)
+	PredSkip                  // copy of the forward reference at zero motion
+)
+
+// String names the prediction mode.
+func (m PredMode) String() string {
+	switch m {
+	case PredIntra:
+		return "intra"
+	case PredFwd:
+		return "fwd"
+	case PredBwd:
+		return "bwd"
+	case PredBi:
+		return "bi"
+	case PredSkip:
+		return "skip"
+	}
+	return "?"
+}
+
+// MBPixels is a 16×16 block of samples.
+type MBPixels = [MBSize * MBSize]byte
+
+// SAD returns the sum of absolute differences between cur and the 16×16
+// region of ref at pixel position (x, y) displaced by mv, with edge
+// clamping. earlyOut stops accumulating once the sum exceeds the given
+// bound (pass a large bound to disable); the return value is then only
+// guaranteed to be ≥ earlyOut.
+func SAD(cur *MBPixels, ref *Frame, x, y int, mv MV, earlyOut int) int {
+	sum := 0
+	rx, ry := x+int(mv.X), y+int(mv.Y)
+	inside := rx >= 0 && ry >= 0 && rx+MBSize <= ref.W && ry+MBSize <= ref.H
+	if inside {
+		for j := 0; j < MBSize; j++ {
+			row := ref.Pix[(ry+j)*ref.W+rx:]
+			crow := cur[j*MBSize:]
+			for i := 0; i < MBSize; i++ {
+				d := int(crow[i]) - int(row[i])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+			if sum > earlyOut {
+				return sum
+			}
+		}
+		return sum
+	}
+	for j := 0; j < MBSize; j++ {
+		for i := 0; i < MBSize; i++ {
+			d := int(cur[j*MBSize+i]) - int(ref.At(rx+i, ry+j))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > earlyOut {
+			return sum
+		}
+	}
+	return sum
+}
+
+// SearchResult reports the outcome of a motion search.
+type SearchResult struct {
+	MV  MV
+	SAD int
+	Ops int // candidate positions evaluated (cost-model input)
+}
+
+// MotionSearch performs a full search over ±r full-pel displacements for
+// the best match of cur (the macroblock at pixel position (x, y)) in ref.
+// The zero vector is evaluated first and wins ties, which biases P-frames
+// toward cheap skip macroblocks exactly as real encoders do.
+func MotionSearch(cur *MBPixels, ref *Frame, x, y, r int) SearchResult {
+	best := SearchResult{MV: MV{}, SAD: SAD(cur, ref, x, y, MV{}, 1<<30), Ops: 1}
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := MV{int16(dx), int16(dy)}
+			s := SAD(cur, ref, x, y, mv, best.SAD)
+			best.Ops++
+			if s < best.SAD {
+				best.SAD = s
+				best.MV = mv
+			}
+		}
+	}
+	return best
+}
+
+// Predict fills pred with the motion-compensated prediction for the
+// macroblock at pixel position (x, y): fwd/bwd single prediction or their
+// rounding average for bi-directional mode. For PredSkip the forward
+// reference at zero motion is used. PredIntra fills a mid-gray constant
+// (128), so that "prediction + residual" is uniform across modes.
+// Motion vectors are in full-pel units; see PredictHP for half-pel.
+func Predict(pred *MBPixels, mode PredMode, fwd, bwd *Frame, x, y int, fmv, bmv MV) {
+	PredictHP(pred, mode, fwd, bwd, x, y, fmv, bmv, false)
+}
+
+// PredictHP is Predict with selectable motion-vector precision: with
+// halfPel set, vector units are half pixels and fractional positions are
+// bilinearly interpolated (the MPEG-2 MC mode).
+func PredictHP(pred *MBPixels, mode PredMode, fwd, bwd *Frame, x, y int, fmv, bmv MV, halfPel bool) {
+	grab := func(dst *MBPixels, ref *Frame, mv MV) {
+		if halfPel {
+			fetchHalf(dst, ref, 2*x+int(mv.X), 2*y+int(mv.Y))
+		} else {
+			fetch(dst, ref, x+int(mv.X), y+int(mv.Y))
+		}
+	}
+	switch mode {
+	case PredIntra:
+		for i := range pred {
+			pred[i] = 128
+		}
+	case PredFwd:
+		grab(pred, fwd, fmv)
+	case PredSkip:
+		fetch(pred, fwd, x, y)
+	case PredBwd:
+		grab(pred, bwd, bmv)
+	case PredBi:
+		var a, b MBPixels
+		grab(&a, fwd, fmv)
+		grab(&b, bwd, bmv)
+		for i := range pred {
+			pred[i] = byte((int(a[i]) + int(b[i]) + 1) / 2)
+		}
+	}
+}
+
+// RefineHalfPel improves a full-pel motion vector by evaluating the eight
+// surrounding half-pel candidates; it returns the best vector in half-pel
+// units, its SAD, and the number of candidates evaluated.
+func RefineHalfPel(cur *MBPixels, ref *Frame, x, y int, full MV, fullSAD int) (MV, int, int) {
+	best := MV{full.X * 2, full.Y * 2}
+	bestSAD := fullSAD
+	ops := 0
+	var pred MBPixels
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			cand := MV{full.X*2 + int16(dx), full.Y*2 + int16(dy)}
+			fetchHalf(&pred, ref, 2*x+int(cand.X), 2*y+int(cand.Y))
+			ops++
+			sad := 0
+			for i := range pred {
+				d := int(cur[i]) - int(pred[i])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			if sad < bestSAD {
+				bestSAD, best = sad, cand
+			}
+		}
+	}
+	return best, bestSAD, ops
+}
+
+// fetchHalf copies a 16×16 region at half-pel position (hx, hy) — i.e.
+// pixel position (hx/2, hy/2) with bilinear interpolation at fractional
+// positions — with edge clamping. Rounding follows the MPEG convention:
+// (a+b+1)/2 for one fractional axis, (a+b+c+d+2)/4 for both.
+func fetchHalf(dst *MBPixels, ref *Frame, hx, hy int) {
+	ix, iy := hx>>1, hy>>1
+	fx, fy := hx&1, hy&1
+	if fx == 0 && fy == 0 {
+		fetch(dst, ref, ix, iy)
+		return
+	}
+	for j := 0; j < MBSize; j++ {
+		for i := 0; i < MBSize; i++ {
+			a := int(ref.At(ix+i, iy+j))
+			switch {
+			case fx == 1 && fy == 0:
+				b := int(ref.At(ix+i+1, iy+j))
+				dst[j*MBSize+i] = byte((a + b + 1) / 2)
+			case fx == 0 && fy == 1:
+				b := int(ref.At(ix+i, iy+j+1))
+				dst[j*MBSize+i] = byte((a + b + 1) / 2)
+			default:
+				b := int(ref.At(ix+i+1, iy+j))
+				c := int(ref.At(ix+i, iy+j+1))
+				d := int(ref.At(ix+i+1, iy+j+1))
+				dst[j*MBSize+i] = byte((a + b + c + d + 2) / 4)
+			}
+		}
+	}
+}
+
+// fetch copies a 16×16 region at pixel position (x, y) with edge clamping.
+func fetch(dst *MBPixels, ref *Frame, x, y int) {
+	if x >= 0 && y >= 0 && x+MBSize <= ref.W && y+MBSize <= ref.H {
+		for j := 0; j < MBSize; j++ {
+			copy(dst[j*MBSize:(j+1)*MBSize], ref.Pix[(y+j)*ref.W+x:])
+		}
+		return
+	}
+	for j := 0; j < MBSize; j++ {
+		for i := 0; i < MBSize; i++ {
+			dst[j*MBSize+i] = ref.At(x+i, y+j)
+		}
+	}
+}
+
+// FetchMB exposes clamped reference fetching for the MC coprocessor model.
+func FetchMB(dst *MBPixels, ref *Frame, x, y int) { fetch(dst, ref, x, y) }
+
+// Residual computes cur − pred into four 8×8 blocks in macroblock block
+// order (top-left, top-right, bottom-left, bottom-right).
+func Residual(cur, pred *MBPixels, blocks *[BlocksPerMB]Block) {
+	for b := 0; b < BlocksPerMB; b++ {
+		bx, by := (b%2)*8, (b/2)*8
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				p := (by+j)*MBSize + bx + i
+				blocks[b][j*8+i] = int16(int(cur[p]) - int(pred[p]))
+			}
+		}
+	}
+}
+
+// Reconstruct computes clamp(pred + residual) into dst for the four 8×8
+// blocks of a macroblock. It is the final step of both the decoder's MC
+// stage and the encoder's reference reconstruction loop.
+func Reconstruct(dst, pred *MBPixels, blocks *[BlocksPerMB]Block) {
+	for b := 0; b < BlocksPerMB; b++ {
+		bx, by := (b%2)*8, (b/2)*8
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				p := (by+j)*MBSize + bx + i
+				dst[p] = clampByte(int(pred[p]) + int(blocks[b][j*8+i]))
+			}
+		}
+	}
+}
+
+// IntraActivity is a cheap texture measure (sum of absolute deviations
+// from the macroblock mean) used for the intra/inter mode decision: when
+// the best inter SAD exceeds the activity, intra coding is cheaper.
+func IntraActivity(cur *MBPixels) int {
+	sum := 0
+	for _, p := range cur {
+		sum += int(p)
+	}
+	mean := sum / len(cur)
+	act := 0
+	for _, p := range cur {
+		d := int(p) - mean
+		if d < 0 {
+			d = -d
+		}
+		act += d
+	}
+	return act
+}

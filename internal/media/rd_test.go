@@ -1,0 +1,107 @@
+package media
+
+import "testing"
+
+// TestRateDistortionMonotonic checks the codec's fundamental R-D
+// behaviour: coarser quantizers must shrink the bitstream and (broadly)
+// lower reconstruction quality, while finer quantizers cost bits and buy
+// PSNR. The workload substrate is only credible if this shape holds.
+func TestRateDistortionMonotonic(t *testing.T) {
+	src := NewSource(DefaultSource(64, 48))
+	frames := src.Frames(6)
+	type point struct {
+		q    int
+		bits int
+		psnr float64
+	}
+	var pts []point
+	for _, q := range []int{2, 6, 16, 40} {
+		cfg := DefaultCodec(64, 48)
+		cfg.Q = q
+		stream, recon, stats, err := Encode(cfg, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disp := res.DisplayFrames()
+		sum := 0.0
+		for i := range disp {
+			if !disp[i].Equal(recon[i]) {
+				t.Fatalf("q=%d: decode mismatch", q)
+			}
+			sum += frames[i].PSNR(disp[i])
+		}
+		pts = append(pts, point{q: q, bits: stats.TotalBits(), psnr: sum / float64(len(disp))})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].bits >= pts[i-1].bits {
+			t.Errorf("q=%d bits %d not below q=%d bits %d",
+				pts[i].q, pts[i].bits, pts[i-1].q, pts[i-1].bits)
+		}
+		if pts[i].psnr >= pts[i-1].psnr {
+			t.Errorf("q=%d psnr %.1f not below q=%d psnr %.1f",
+				pts[i].q, pts[i].psnr, pts[i-1].q, pts[i-1].psnr)
+		}
+	}
+	if pts[0].psnr < 30 {
+		t.Errorf("fine quantizer PSNR %.1f too low", pts[0].psnr)
+	}
+	if last := pts[len(pts)-1]; last.psnr > pts[0].psnr-5 {
+		t.Errorf("R-D range too flat: %.1f .. %.1f", pts[0].psnr, last.psnr)
+	}
+}
+
+// TestGOPStructureAffectsRate checks the per-frame-type rate ordering
+// inside an IBBP encode: B frames (bi-directional prediction, deadzone
+// quantization) must cost fewer bits than P frames, which must cost fewer
+// than I frames — the data dependence Figure 10 rides on.
+func TestGOPStructureAffectsRate(t *testing.T) {
+	cfgSrc := DefaultSource(64, 48)
+	cfgSrc.Speed = 1
+	cfgSrc.Noise = 3
+	src := NewSource(cfgSrc)
+	frames := src.Frames(12)
+	cfg := DefaultCodec(64, 48)
+	_, _, stats, err := Encode(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[FrameType]int{}
+	cnt := map[FrameType]int{}
+	for _, f := range stats.Frames {
+		sum[f.Type] += f.Bits
+		cnt[f.Type]++
+	}
+	avg := func(t FrameType) int { return sum[t] / cnt[t] }
+	if cnt[FrameI] == 0 || cnt[FrameP] == 0 || cnt[FrameB] == 0 {
+		t.Fatal("missing frame types")
+	}
+	if !(avg(FrameB) < avg(FrameP) && avg(FrameP) < avg(FrameI)) {
+		t.Errorf("bits/frame ordering violated: I=%d P=%d B=%d",
+			avg(FrameI), avg(FrameP), avg(FrameB))
+	}
+}
+
+// TestIntraOnlyIsLargest checks that disabling temporal prediction
+// entirely (GOP of 1) costs the most bits.
+func TestIntraOnlyIsLargest(t *testing.T) {
+	src := NewSource(DefaultSource(48, 32))
+	frames := src.Frames(6)
+	size := func(gopN, gopM int) int {
+		cfg := DefaultCodec(48, 32)
+		cfg.GOPN = gopN
+		cfg.GOPM = gopM
+		_, _, stats, err := Encode(cfg, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.TotalBits()
+	}
+	intra, inter := size(1, 1), size(12, 3)
+	if intra <= inter {
+		t.Errorf("intra-only (%d bits) not larger than IBBP (%d bits)", intra, inter)
+	}
+}

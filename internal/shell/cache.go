@@ -1,0 +1,222 @@
+package shell
+
+// Read and write caches of the coprocessor shell (paper Section 5.2).
+//
+// Coherency is not snooped: it is driven entirely by the synchronization
+// events, exploiting that a granted access window is private:
+//
+//  1. Read/Write inside the window never needs coherency traffic.
+//  2. GetSpace extends the window; cached lines overlapping the
+//     extension are invalidated so later reads fetch fresh data.
+//  3. PutSpace shrinks the window; dirty write-cache lines overlapping
+//     the committed region are flushed, and the putspace message is
+//     held back until the flush has completed.
+//
+// Caches are direct mapped on the absolute memory line address. The
+// write cache keeps a per-byte dirty mask so partial-line writes never
+// require a fetch (no write-allocate-read), matching a hardware design
+// with byte enables.
+
+import "eclipse/internal/mem"
+
+type cacheLine struct {
+	valid bool
+	tag   uint32 // absolute address of the line's first byte
+	data  []byte
+	dirty []bool // write cache only: bytes to be flushed
+	ok    []bool // read cache only: per-byte validity (sector cache)
+}
+
+// anyOK reports whether any byte of the line is valid.
+func (ln *cacheLine) anyOK() bool {
+	for _, v := range ln.ok {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+type cache struct {
+	lineBytes int
+	lines     []cacheLine
+	write     bool // write cache (keeps dirty masks)
+
+	// statistics
+	hits, misses, evictions, invalidations, flushes uint64
+}
+
+func newCache(nLines, lineBytes int, write bool) *cache {
+	c := &cache{lineBytes: lineBytes, lines: make([]cacheLine, nLines), write: write}
+	for i := range c.lines {
+		c.lines[i].data = make([]byte, lineBytes)
+		if write {
+			c.lines[i].dirty = make([]bool, lineBytes)
+		} else {
+			c.lines[i].ok = make([]bool, lineBytes)
+		}
+	}
+	return c
+}
+
+// slot returns the direct-mapped line for an absolute address.
+func (c *cache) slot(addr uint32) *cacheLine {
+	idx := (addr / uint32(c.lineBytes)) % uint32(len(c.lines))
+	return &c.lines[idx]
+}
+
+// lineAddr returns the line-aligned base of addr.
+func (c *cache) lineAddr(addr uint32) uint32 {
+	return addr - addr%uint32(c.lineBytes)
+}
+
+// lookup returns the cached line holding addr, or nil on miss.
+func (c *cache) lookup(addr uint32) *cacheLine {
+	ln := c.slot(addr)
+	if ln.valid && ln.tag == c.lineAddr(addr) {
+		return ln
+	}
+	return nil
+}
+
+// covers reports whether the line holds valid data for the whole byte
+// range [lo, hi) of offsets within the line (read cache only).
+func (ln *cacheLine) covers(lo, hi uint32) bool {
+	for i := lo; i < hi; i++ {
+		if !ln.ok[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge installs freshly fetched line data, marking valid only the byte
+// offsets [vlo, vhi) — the intersection of the line with the task's
+// granted window. Bytes outside the window may have been fetched mid-
+// update by the producer and stay invalid. If the slot holds a different
+// line the caller must have evicted it first.
+func (c *cache) merge(addr uint32, data []byte, vlo, vhi uint32) *cacheLine {
+	ln := c.slot(addr)
+	base := c.lineAddr(addr)
+	if !ln.valid || ln.tag != base {
+		ln.valid = true
+		ln.tag = base
+		for i := range ln.ok {
+			ln.ok[i] = false
+		}
+	}
+	copy(ln.data, data)
+	for i := vlo; i < vhi && int(i) < len(ln.ok); i++ {
+		ln.ok[i] = true
+	}
+	return ln
+}
+
+// invalidateRange clears per-byte validity overlapping the absolute
+// address range [lo, hi) — the GetSpace window-extension rule (read cache
+// only). Valid bytes outside the range survive, so fine-grained
+// synchronization does not destroy whole lines.
+func (c *cache) invalidateRange(lo, hi uint32) {
+	if lo >= hi {
+		return
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid || c.write {
+			continue
+		}
+		end := ln.tag + uint32(c.lineBytes)
+		if ln.tag >= hi || end <= lo {
+			continue
+		}
+		a, b := lo, hi
+		if a < ln.tag {
+			a = ln.tag
+		}
+		if b > end {
+			b = end
+		}
+		for j := a - ln.tag; j < b-ln.tag; j++ {
+			ln.ok[j] = false
+		}
+		if !ln.anyOK() {
+			ln.valid = false
+		}
+		c.invalidations++
+	}
+}
+
+// dirtyExtent returns the smallest [lo, hi) byte span of the line that is
+// dirty, or ok=false if the line is clean.
+func (ln *cacheLine) dirtyExtent() (lo, hi int, ok bool) {
+	lo, hi = -1, -1
+	for i, d := range ln.dirty {
+		if d {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	if lo < 0 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// flushOverlapping writes back every dirty line overlapping [lo, hi) via
+// async memory writes and returns the number of writes issued; each
+// write's completion invokes done. Flushed lines stay valid but clean.
+func (c *cache) flushOverlapping(m *mem.Memory, lo, hi uint32, done func()) int {
+	issued := 0
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid || !c.write {
+			continue
+		}
+		if ln.tag >= hi || ln.tag+uint32(c.lineBytes) <= lo {
+			continue
+		}
+		dlo, dhi, ok := ln.dirtyExtent()
+		if !ok {
+			continue
+		}
+		m.WriteAsync(ln.tag+uint32(dlo), ln.data[dlo:dhi], done)
+		for j := dlo; j < dhi; j++ {
+			ln.dirty[j] = false
+		}
+		c.flushes++
+		issued++
+	}
+	return issued
+}
+
+// evict disposes the current occupant of addr's slot so a new line can be
+// installed. Dirty occupants are written back synchronously through the
+// calling process (the coprocessor pays the eviction, as a blocking
+// hardware write buffer would).
+func (c *cache) evict(addr uint32, sync func(a uint32, data []byte)) {
+	ln := c.slot(addr)
+	if !ln.valid || ln.tag == c.lineAddr(addr) {
+		return
+	}
+	if c.write {
+		if lo, hi, ok := ln.dirtyExtent(); ok {
+			sync(ln.tag+uint32(lo), ln.data[lo:hi])
+			for j := lo; j < hi; j++ {
+				ln.dirty[j] = false
+			}
+		}
+	}
+	ln.valid = false
+	c.evictions++
+}
+
+// CacheStats is a snapshot of cache activity.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations, Flushes uint64
+}
+
+func (c *cache) stats() CacheStats {
+	return CacheStats{c.hits, c.misses, c.evictions, c.invalidations, c.flushes}
+}

@@ -1,0 +1,352 @@
+package shell
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eclipse/internal/mem"
+	"eclipse/internal/sim"
+)
+
+// TestRandomizedConfigurationsPreserveData drives the producer/consumer
+// rig across randomized shell, buffer, and chunk configurations and
+// checks end-to-end byte integrity plus the final space-accounting
+// invariants. This is the shell's main property test: no combination of
+// cache geometry, prefetching, latencies, or transfer sizes may ever
+// corrupt stream contents or leak space.
+func TestRandomizedConfigurationsPreserveData(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		bufSize := uint32(32 << rng.Intn(5)) // 32..512
+		// Chunk sizes within half the buffer guarantee progress: larger
+		// combinations can deadlock legitimately (producer needs more
+		// room than the consumer can free at once — the Section 2.2
+		// buffer-sizing hazard, tested separately).
+		pChunk := 1 + rng.Intn(int(bufSize)/2)
+		cChunk := 1 + rng.Intn(int(bufSize)/2)
+		total := 500 + rng.Intn(3000)
+
+		pCfg := DefaultConfig("p")
+		cCfg := DefaultConfig("c")
+		for _, cfg := range []*Config{&pCfg, &cCfg} {
+			cfg.ReadCacheLines = 1 << rng.Intn(6)
+			cfg.WriteCacheLines = 1 << rng.Intn(6)
+			cfg.PrefetchDepth = rng.Intn(5)
+			cfg.MsgLatency = uint64(rng.Intn(10))
+			cfg.AccessCycles = uint64(rng.Intn(3))
+			cfg.GetSpaceCycles = uint64(rng.Intn(3))
+			cfg.PutSpaceCycles = uint64(rng.Intn(3))
+		}
+		desc := fmt.Sprintf("trial %d: buf=%d p=%d c=%d total=%d pCfg=%+v cCfg=%+v",
+			trial, bufSize, pChunk, cChunk, total, pCfg, cCfg)
+
+		k := sim.NewKernel()
+		f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+		pSh := f.NewShell(pCfg)
+		cSh := f.NewShell(cCfg)
+		pT := pSh.AddTask("prod", 0, 0)
+		cT := cSh.AddTask("cons", 0, 0)
+		if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, bufSize); err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		var got bytes.Buffer
+		k.NewProc("prod", 0, func(p *sim.Proc) {
+			pSh.Bind(p)
+			sent := 0
+			for sent < total {
+				task, _, ok := pSh.GetTask()
+				if !ok {
+					return
+				}
+				n := pChunk
+				if sent+n > total {
+					n = total - sent
+				}
+				if !pSh.GetSpace(task, 0, uint32(n)) {
+					continue
+				}
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte((sent + i) * 13)
+				}
+				pSh.Write(task, 0, 0, data)
+				pSh.PutSpace(task, 0, uint32(n))
+				sent += n
+			}
+			pSh.TaskDone(pT)
+			pSh.GetTask()
+		})
+		k.NewProc("cons", 0, func(p *sim.Proc) {
+			cSh.Bind(p)
+			rcv := 0
+			for rcv < total {
+				task, _, ok := cSh.GetTask()
+				if !ok {
+					return
+				}
+				n := cChunk
+				if rcv+n > total {
+					n = total - rcv
+				}
+				if !cSh.GetSpace(task, 0, uint32(n)) {
+					continue
+				}
+				buf := make([]byte, n)
+				cSh.Read(task, 0, 0, buf)
+				cSh.PutSpace(task, 0, uint32(n))
+				got.Write(buf)
+				rcv += n
+			}
+			cSh.TaskDone(cT)
+			cSh.GetTask()
+		})
+		if err := k.Run(100_000_000); err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if got.Len() != total {
+			t.Fatalf("%s: moved %d bytes", desc, got.Len())
+		}
+		for i, b := range got.Bytes() {
+			if b != byte(i*13) {
+				t.Fatalf("%s: byte %d corrupted", desc, i)
+			}
+		}
+		// Space accounting at the end: the consumer has consumed every
+		// delivered byte (its space is 0); the producer's space never
+		// exceeds the buffer and accounts for putspace messages that were
+		// still in flight when the simulation stopped.
+		if s := cSh.Space(cT, 0); s != 0 {
+			t.Fatalf("%s: consumer final space %d, want 0", desc, s)
+		}
+		if s := pSh.Space(pT, 0); s > bufSize {
+			t.Fatalf("%s: producer final space %d exceeds buffer %d", desc, s, bufSize)
+		}
+		// Conservation: bytes committed on both sides match.
+		ps, cs := pSh.StreamStats(pT, 0), cSh.StreamStats(cT, 0)
+		if ps.BytesCommitted != uint64(total) || cs.BytesCommitted != uint64(total) {
+			t.Fatalf("%s: committed %d/%d", desc, ps.BytesCommitted, cs.BytesCommitted)
+		}
+	}
+}
+
+// TestSelfLoopStream checks a task consuming its own output (a legal,
+// if unusual, Kahn topology) through one shell.
+func TestSelfLoopStream(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	sh := f.NewShell(DefaultConfig("loop"))
+	task := sh.AddTask("t", 0, 0)
+	if err := f.Connect(Endpoint{sh, task, 0}, []Endpoint{{sh, task, 1}}, 64); err != nil {
+		t.Fatal(err)
+	}
+	var seen []byte
+	k.NewProc("loop", 0, func(p *sim.Proc) {
+		sh.Bind(p)
+		// Seed the loop, then circulate an incrementing token 10 times.
+		tk, _, _ := sh.GetTask()
+		if !sh.GetSpace(tk, 0, 1) {
+			t.Error("seed write denied")
+			return
+		}
+		sh.Write(tk, 0, 0, []byte{1})
+		sh.PutSpace(tk, 0, 1)
+		for i := 0; i < 10; i++ {
+			tk, _, _ = sh.GetTask()
+			if !sh.GetSpace(tk, 1, 1) {
+				continue
+			}
+			var b [1]byte
+			sh.Read(tk, 1, 0, b[:])
+			sh.PutSpace(tk, 1, 1)
+			seen = append(seen, b[0])
+			for !sh.GetSpace(tk, 0, 1) {
+				tk, _, _ = sh.GetTask()
+			}
+			sh.Write(tk, 0, 0, []byte{b[0] + 1})
+			sh.PutSpace(tk, 0, 1)
+		}
+		sh.TaskDone(task)
+		sh.GetTask()
+	})
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range seen {
+		if b != byte(i+1) {
+			t.Fatalf("token %d = %d", i, b)
+		}
+	}
+}
+
+// TestBudgetIsRespectedUnderContention checks the weighted-round-robin
+// guarantee: with two always-runnable tasks, each occupies the
+// coprocessor for about its budget before switching.
+func TestBudgetIsRespectedUnderContention(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	workSh := f.NewShell(DefaultConfig("w"))
+	sinkSh := f.NewShell(DefaultConfig("s"))
+	// Two producer tasks on one coprocessor, one consumer task each on
+	// another, with roomy buffers so both stay runnable.
+	tA := workSh.AddTask("a", 0, 1000)
+	tB := workSh.AddTask("b", 0, 4000)
+	cA := sinkSh.AddTask("ca", 0, 0)
+	cB := sinkSh.AddTask("cb", 0, 0)
+	if err := f.Connect(Endpoint{workSh, tA, 0}, []Endpoint{{sinkSh, cA, 0}}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(Endpoint{workSh, tB, 0}, []Endpoint{{sinkSh, cB, 0}}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 200
+	var runsA, runsB int
+	k.NewProc("w", 0, func(p *sim.Proc) {
+		workSh.Bind(p)
+		done := map[int]int{}
+		for done[tA] < steps || done[tB] < steps {
+			task, _, ok := workSh.GetTask()
+			if !ok {
+				return
+			}
+			if done[task] >= steps {
+				// Finished its quota: just mark done once.
+				workSh.TaskDone(task)
+				continue
+			}
+			if !workSh.GetSpace(task, 0, 16) {
+				continue
+			}
+			workSh.Compute(50)
+			workSh.Write(task, 0, 0, make([]byte, 16))
+			workSh.PutSpace(task, 0, 16)
+			done[task]++
+			if task == tA {
+				runsA++
+			} else {
+				runsB++
+			}
+			if done[tA] == steps && task == tA {
+				workSh.TaskDone(tA)
+			}
+			if done[tB] == steps && task == tB {
+				workSh.TaskDone(tB)
+			}
+		}
+	})
+	k.NewProc("s", 0, func(p *sim.Proc) {
+		sinkSh.Bind(p)
+		got := map[int]int{}
+		for got[cA] < steps*16 || got[cB] < steps*16 {
+			task, _, ok := sinkSh.GetTask()
+			if !ok {
+				return
+			}
+			if !sinkSh.GetSpace(task, 0, 16) {
+				continue
+			}
+			buf := make([]byte, 16)
+			sinkSh.Read(task, 0, 0, buf)
+			sinkSh.PutSpace(task, 0, 16)
+			got[task] += 16
+			if got[cA] == steps*16 && task == cA {
+				sinkSh.TaskDone(cA)
+			}
+			if got[cB] == steps*16 && task == cB {
+				sinkSh.TaskDone(cB)
+			}
+		}
+	})
+	if err := k.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// With budgets 1000 vs 4000 and ~60-cycle steps, task B should get
+	// roughly 4x longer slots; both ran all their steps, so switch counts
+	// differ: A switches about 4x as often per executed step.
+	stA, stB := workSh.TaskStats(tA), workSh.TaskStats(tB)
+	if stA.Switches == 0 || stB.Switches == 0 {
+		t.Fatalf("no switching: %+v %+v", stA, stB)
+	}
+	if stA.Switches < stB.Switches {
+		t.Fatalf("small-budget task switched less: %d vs %d", stA.Switches, stB.Switches)
+	}
+}
+
+// TestIncommensurateChunksDeadlockDetected pins the genuine buffer-sizing
+// deadlock of Section 2.2: a producer writing 47-byte units and a
+// consumer reading 24-byte units cannot always make progress through a
+// 64-byte buffer (after one write and one read, 23 bytes remain: too few
+// to read, too little room to write). The fabric must detect the stall
+// rather than hang.
+func TestIncommensurateChunksDeadlockDetected(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(DefaultConfig("p"))
+	cSh := f.NewShell(DefaultConfig("c"))
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, 64); err != nil {
+		t.Fatal(err)
+	}
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		for sent := 0; sent < 470; {
+			task, _, ok := pSh.GetTask()
+			if !ok {
+				return
+			}
+			if !pSh.GetSpace(task, 0, 47) {
+				continue
+			}
+			pSh.Write(task, 0, 0, make([]byte, 47))
+			pSh.PutSpace(task, 0, 47)
+			sent += 47
+		}
+		pSh.TaskDone(pT)
+		pSh.GetTask()
+	})
+	k.NewProc("cons", 0, func(p *sim.Proc) {
+		cSh.Bind(p)
+		for rcv := 0; rcv < 470; {
+			task, _, ok := cSh.GetTask()
+			if !ok {
+				return
+			}
+			if !cSh.GetSpace(task, 0, 24) {
+				continue
+			}
+			buf := make([]byte, 24)
+			cSh.Read(task, 0, 0, buf)
+			cSh.PutSpace(task, 0, 24)
+			rcv += 24
+		}
+		cSh.TaskDone(cT)
+		cSh.GetTask()
+	})
+	err := k.Run(10_000_000)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want application deadlock", err)
+	}
+}
+
+func TestStepHistogramRecords(t *testing.T) {
+	st := TaskStats{}
+	st.StepHist[stepBucket(1)]++   // bucket 0
+	st.StepHist[stepBucket(100)]++ // ~bucket 6
+	st.StepHist[stepBucket(1<<20)]++
+	if stepBucket(1) != 0 || stepBucket(3) != 1 || stepBucket(100) != 6 {
+		t.Fatalf("buckets: %d %d %d", stepBucket(1), stepBucket(3), stepBucket(100))
+	}
+	if stepBucket(1<<20) != StepHistBuckets-1 {
+		t.Fatal("overflow bucket")
+	}
+	if p := st.StepPercentile(0.5); p != 128 {
+		t.Fatalf("p50 = %d", p)
+	}
+	empty := TaskStats{}
+	if empty.StepPercentile(0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}

@@ -1,0 +1,627 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eclipse/internal/mem"
+	"eclipse/internal/sim"
+)
+
+// rig is a two-shell producer/consumer test fixture.
+type rig struct {
+	k      *sim.Kernel
+	f      *Fabric
+	pSh    *Shell
+	cSh    *Shell
+	pTask  int
+	cTask  int
+	outBuf bytes.Buffer
+}
+
+func newRig(t *testing.T, bufSize uint32, pCfg, cCfg Config) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	r := &rig{k: k, f: f}
+	r.pSh = f.NewShell(pCfg)
+	r.cSh = f.NewShell(cCfg)
+	r.pTask = r.pSh.AddTask("prod", 0, 0)
+	r.cTask = r.cSh.AddTask("cons", 0, 0)
+	err := f.Connect(
+		Endpoint{Shell: r.pSh, Task: r.pTask, Port: 0},
+		[]Endpoint{{Shell: r.cSh, Task: r.cTask, Port: 0}},
+		bufSize,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// produce runs a producer coprocessor writing total bytes in chunks.
+func (r *rig) produce(total, chunk int, fill func(i int) byte) {
+	r.k.NewProc("prod", 0, func(p *sim.Proc) {
+		sh := r.pSh
+		sh.Bind(p)
+		sent := 0
+		for sent < total {
+			task, _, ok := sh.GetTask()
+			if !ok {
+				return
+			}
+			n := chunk
+			if sent+n > total {
+				n = total - sent
+			}
+			if !sh.GetSpace(task, 0, uint32(n)) {
+				continue
+			}
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = fill(sent + i)
+			}
+			sh.Write(task, 0, 0, data)
+			sh.PutSpace(task, 0, uint32(n))
+			sent += n
+		}
+		sh.TaskDone(r.pTask)
+		sh.GetTask() // drains scheduling state; returns ok=false
+	})
+}
+
+// consume runs a consumer coprocessor reading total bytes in chunks into
+// r.outBuf.
+func (r *rig) consume(total, chunk int) {
+	r.k.NewProc("cons", 0, func(p *sim.Proc) {
+		sh := r.cSh
+		sh.Bind(p)
+		got := 0
+		for got < total {
+			task, _, ok := sh.GetTask()
+			if !ok {
+				return
+			}
+			n := chunk
+			if got+n > total {
+				n = total - got
+			}
+			if !sh.GetSpace(task, 0, uint32(n)) {
+				continue
+			}
+			buf := make([]byte, n)
+			sh.Read(task, 0, 0, buf)
+			sh.PutSpace(task, 0, uint32(n))
+			r.outBuf.Write(buf)
+			got += n
+		}
+		sh.TaskDone(r.cTask)
+		sh.GetTask()
+	})
+}
+
+func pattern(i int) byte { return byte(i*7 + 3) }
+
+func checkPattern(t *testing.T, got []byte, total int) {
+	t.Helper()
+	if len(got) != total {
+		t.Fatalf("received %d of %d bytes", len(got), total)
+	}
+	for i, b := range got {
+		if b != pattern(i) {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, pattern(i))
+		}
+	}
+}
+
+func TestProducerConsumerBasic(t *testing.T) {
+	r := newRig(t, 256, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 4096
+	r.produce(total, 64, pattern)
+	r.consume(total, 64)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+}
+
+func TestProducerConsumerTinyBufferManyChunks(t *testing.T) {
+	// A 32-byte buffer forces constant back-pressure; data must still
+	// arrive intact and in order.
+	r := newRig(t, 32, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 2000
+	r.produce(total, 13, pattern)
+	r.consume(total, 7)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+}
+
+func TestMismatchedSyncGranularity(t *testing.T) {
+	// Producer commits in 100-byte units, consumer in 256-byte units
+	// (sync granularity decoupled from transport, Section 2.2).
+	r := newRig(t, 512, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 4000 // not a multiple of either chunk
+	r.produce(total, 100, pattern)
+	r.consume(total, 256)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+}
+
+func TestPrefetchOffStillCorrect(t *testing.T) {
+	pCfg, cCfg := DefaultConfig("p"), DefaultConfig("c")
+	pCfg.PrefetchDepth = 0
+	cCfg.PrefetchDepth = 0
+	r := newRig(t, 128, pCfg, cCfg)
+	const total = 1500
+	r.produce(total, 50, pattern)
+	r.consume(total, 30)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+}
+
+func TestSingleLineCachesStillCorrect(t *testing.T) {
+	// Degenerate caches maximize evictions and misses; correctness must
+	// not depend on cache capacity.
+	pCfg, cCfg := DefaultConfig("p"), DefaultConfig("c")
+	pCfg.WriteCacheLines, pCfg.ReadCacheLines = 1, 1
+	cCfg.WriteCacheLines, cCfg.ReadCacheLines = 1, 1
+	r := newRig(t, 128, pCfg, cCfg)
+	const total = 1200
+	r.produce(total, 40, pattern)
+	r.consume(total, 24)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+}
+
+func TestPrefetchImprovesReadLatency(t *testing.T) {
+	// A consumer that acquires a 256-byte window and then reads it in 32-
+	// byte pieces with computation in between gives the prefetcher lead
+	// time, so later pieces hit in the cache.
+	run := func(depth int) uint64 {
+		pCfg, cCfg := DefaultConfig("p"), DefaultConfig("c")
+		cCfg.PrefetchDepth = depth
+		cCfg.ReadCacheLines = 32
+		r := newRig(t, 1024, pCfg, cCfg)
+		const total = 8192
+		r.produce(total, 256, pattern)
+		r.k.NewProc("cons", 0, func(p *sim.Proc) {
+			sh := r.cSh
+			sh.Bind(p)
+			got := 0
+			for got < total {
+				task, _, ok := sh.GetTask()
+				if !ok {
+					return
+				}
+				if !sh.GetSpace(task, 0, 256) {
+					continue
+				}
+				buf := make([]byte, 32)
+				for off := uint32(0); off < 256; off += 32 {
+					sh.Read(task, 0, off, buf)
+					sh.Compute(10)
+					r.outBuf.Write(buf)
+				}
+				sh.PutSpace(task, 0, 256)
+				got += 256
+			}
+			sh.TaskDone(r.cTask)
+			sh.GetTask()
+		})
+		if err := r.k.Run(50_000_000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		checkPattern(t, r.outBuf.Bytes(), total)
+		return r.k.Now()
+	}
+	with, without := run(4), run(0)
+	if with >= without {
+		t.Fatalf("prefetch did not help: %d >= %d cycles", with, without)
+	}
+}
+
+func TestCacheHitsDominateSequentialReads(t *testing.T) {
+	// A consumer that acquires 64-byte windows and reads them in 4-byte
+	// pieces touches each 16-byte line four times: one miss, three hits.
+	r := newRig(t, 1024, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 8192
+	r.produce(total, 256, pattern)
+	r.k.NewProc("cons", 0, func(p *sim.Proc) {
+		sh := r.cSh
+		sh.Bind(p)
+		got := 0
+		for got < total {
+			task, _, ok := sh.GetTask()
+			if !ok {
+				return
+			}
+			if !sh.GetSpace(task, 0, 64) {
+				continue
+			}
+			buf := make([]byte, 4)
+			for off := uint32(0); off < 64; off += 4 {
+				sh.Read(task, 0, off, buf)
+				r.outBuf.Write(buf)
+			}
+			sh.PutSpace(task, 0, 64)
+			got += 64
+		}
+		sh.TaskDone(r.cTask)
+		sh.GetTask()
+	})
+	if err := r.k.Run(50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+	st := r.cSh.ReadCacheStats()
+	if st.Hits == 0 || st.Hits+st.Misses == 0 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	hitRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+	if hitRate < 0.5 {
+		t.Fatalf("sequential read hit rate %.2f too low (%+v)", hitRate, st)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := newRig(t, 256, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 2048
+	r.produce(total, 64, pattern)
+	r.consume(total, 64)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ps := r.pSh.StreamStats(r.pTask, 0)
+	cs := r.cSh.StreamStats(r.cTask, 0)
+	if ps.BytesCommitted != total || cs.BytesCommitted != total {
+		t.Fatalf("committed p=%d c=%d", ps.BytesCommitted, cs.BytesCommitted)
+	}
+	if ps.BytesWritten != total || cs.BytesRead != total {
+		t.Fatalf("moved p=%d c=%d", ps.BytesWritten, cs.BytesRead)
+	}
+	if ps.MsgsSent != ps.PutSpaceCalls || ps.MsgsSent == 0 {
+		t.Fatalf("producer messages %d, putspaces %d", ps.MsgsSent, ps.PutSpaceCalls)
+	}
+	if cs.MsgsReceived != ps.MsgsSent {
+		t.Fatalf("consumer received %d, producer sent %d", cs.MsgsReceived, ps.MsgsSent)
+	}
+	pt := r.pSh.TaskStats(r.pTask)
+	if pt.Steps == 0 || pt.RunCycles == 0 {
+		t.Fatalf("task stats %+v", pt)
+	}
+}
+
+func TestDeniedGetSpaceIsCountedAndRecovers(t *testing.T) {
+	// A consumer ahead of the producer must see denials, then recover.
+	r := newRig(t, 64, DefaultConfig("p"), DefaultConfig("c"))
+	const total = 512
+	r.consume(total, 64) // started first: immediately denied
+	r.produce(total, 32, pattern)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, r.outBuf.Bytes(), total)
+	cs := r.cSh.StreamStats(r.cTask, 0)
+	if cs.Denials == 0 {
+		t.Fatal("expected GetSpace denials")
+	}
+	if r.cSh.IdleCycles() == 0 {
+		t.Fatal("expected consumer idle cycles while blocked")
+	}
+}
+
+func TestApplicationDeadlockDetected(t *testing.T) {
+	// Consumer demands 128 bytes at once from a 64-byte stream buffer
+	// that the producer can never fill beyond 64: GetSpace(128) exceeds
+	// the buffer and the simulation must fail fast.
+	r := newRig(t, 64, DefaultConfig("p"), DefaultConfig("c"))
+	r.produce(32, 32, pattern)
+	r.consume(128, 128)
+	err := r.k.Run(10_000_000)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "exceeds buffer size") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStalledApplicationDetected(t *testing.T) {
+	// The producer finishes early; the consumer still waits for bytes
+	// that will never come. The fabric must detect the stall.
+	r := newRig(t, 64, DefaultConfig("p"), DefaultConfig("c"))
+	r.produce(32, 32, pattern)
+	r.consume(64, 32) // wants 64, only 32 ever produced
+	err := r.k.Run(10_000_000)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPutSpaceBeyondWindowFails(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(DefaultConfig("p"))
+	cSh := f.NewShell(DefaultConfig("c"))
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, 64); err != nil {
+		t.Fatal(err)
+	}
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		task, _, _ := pSh.GetTask()
+		pSh.PutSpace(task, 0, 16) // nothing granted
+	})
+	err := k.Run(1_000_000)
+	if err == nil || !strings.Contains(err.Error(), "beyond granted window") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadOutsideWindowFails(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(DefaultConfig("p"))
+	cSh := f.NewShell(DefaultConfig("c"))
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, 64); err != nil {
+		t.Fatal(err)
+	}
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		task, _, _ := pSh.GetTask()
+		if pSh.GetSpace(task, 0, 32) {
+			pSh.Write(task, 0, 0, make([]byte, 32))
+			pSh.PutSpace(task, 0, 32)
+		}
+		pSh.TaskDone(task)
+		pSh.GetTask()
+	})
+	k.NewProc("cons", 0, func(p *sim.Proc) {
+		cSh.Bind(p)
+		for {
+			task, _, ok := cSh.GetTask()
+			if !ok {
+				return
+			}
+			if !cSh.GetSpace(task, 0, 8) {
+				continue
+			}
+			buf := make([]byte, 16)
+			cSh.Read(task, 0, 0, buf) // reads 16 with only 8 granted
+			return
+		}
+	})
+	err := k.Run(1_000_000)
+	if err == nil || !strings.Contains(err.Error(), "outside granted window") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSRAMExhaustion(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	sh := f.NewShell(DefaultConfig("s"))
+	a := sh.AddTask("a", 0, 0)
+	b := sh.AddTask("b", 0, 0)
+	if err := f.Connect(Endpoint{sh, a, 0}, []Endpoint{{sh, b, 0}}, 30*1024); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Connect(Endpoint{sh, a, 1}, []Endpoint{{sh, b, 1}}, 4*1024)
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultiConsumerStream(t *testing.T) {
+	// One producer, two consumers on different shells; both must see all
+	// bytes, and the producer must be gated by the slower one.
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(DefaultConfig("p"))
+	aSh := f.NewShell(DefaultConfig("a"))
+	bSh := f.NewShell(DefaultConfig("b"))
+	pT := pSh.AddTask("prod", 0, 0)
+	aT := aSh.AddTask("fast", 0, 0)
+	bT := bSh.AddTask("slow", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0},
+		[]Endpoint{{aSh, aT, 0}, {bSh, bT, 0}}, 128); err != nil {
+		t.Fatal(err)
+	}
+	const total = 2048
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		sent := 0
+		for sent < total {
+			task, _, ok := pSh.GetTask()
+			if !ok {
+				return
+			}
+			if !pSh.GetSpace(task, 0, 64) {
+				continue
+			}
+			data := make([]byte, 64)
+			for i := range data {
+				data[i] = pattern(sent + i)
+			}
+			pSh.Write(task, 0, 0, data)
+			pSh.PutSpace(task, 0, 64)
+			sent += 64
+		}
+		pSh.TaskDone(pT)
+		pSh.GetTask()
+	})
+	var gotA, gotB bytes.Buffer
+	mkCons := func(sh *Shell, taskID int, out *bytes.Buffer, extraDelay uint64) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			sh.Bind(p)
+			got := 0
+			for got < total {
+				task, _, ok := sh.GetTask()
+				if !ok {
+					return
+				}
+				if !sh.GetSpace(task, 0, 32) {
+					continue
+				}
+				buf := make([]byte, 32)
+				sh.Read(task, 0, 0, buf)
+				sh.Compute(extraDelay)
+				sh.PutSpace(task, 0, 32)
+				out.Write(buf)
+				got += 32
+			}
+			sh.TaskDone(taskID)
+			sh.GetTask()
+		}
+	}
+	k.NewProc("fast", 0, mkCons(aSh, aT, &gotA, 0))
+	k.NewProc("slow", 0, mkCons(bSh, bT, &gotB, 50))
+	if err := k.Run(50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, gotA.Bytes(), total)
+	checkPattern(t, gotB.Bytes(), total)
+}
+
+func TestDeterministicCycleCounts(t *testing.T) {
+	run := func() uint64 {
+		r := newRig(t, 256, DefaultConfig("p"), DefaultConfig("c"))
+		r.produce(4096, 96, pattern)
+		r.consume(4096, 48)
+		if err := r.k.Run(10_000_000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r.k.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestWindowReadBeforeCommitIsRepeatable(t *testing.T) {
+	// The paper's two-exit processing step (Section 4.2): reading data,
+	// not committing, and re-reading later must deliver identical bytes.
+	r := newRig(t, 128, DefaultConfig("p"), DefaultConfig("c"))
+	r.produce(64, 64, pattern)
+	var first, second [16]byte
+	r.k.NewProc("cons", 0, func(p *sim.Proc) {
+		sh := r.cSh
+		sh.Bind(p)
+		for {
+			task, _, ok := sh.GetTask()
+			if !ok {
+				return
+			}
+			if !sh.GetSpace(task, 0, 16) {
+				continue
+			}
+			sh.Read(task, 0, 0, first[:])
+			// Abort the step without PutSpace; re-execute.
+			task2, _, _ := sh.GetTask()
+			if !sh.GetSpace(task2, 0, 16) {
+				continue
+			}
+			sh.Read(task2, 0, 0, second[:])
+			sh.PutSpace(task2, 0, 16)
+			sh.TaskDone(task2)
+			sh.GetTask()
+			return
+		}
+	})
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if first != second {
+		t.Fatalf("re-read differs: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != pattern(i) {
+			t.Fatalf("data wrong at %d", i)
+		}
+	}
+}
+
+func TestRandomOffsetAccessWithinWindow(t *testing.T) {
+	// Read/Write support random access inside the granted window.
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(DefaultConfig("p"))
+	cSh := f.NewShell(DefaultConfig("c"))
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, 128); err != nil {
+		t.Fatal(err)
+	}
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		task, _, _ := pSh.GetTask()
+		for !pSh.GetSpace(task, 0, 64) {
+			task, _, _ = pSh.GetTask()
+		}
+		// Write out of order: second half first.
+		half := make([]byte, 32)
+		for i := range half {
+			half[i] = pattern(32 + i)
+		}
+		pSh.Write(task, 0, 32, half)
+		for i := range half {
+			half[i] = pattern(i)
+		}
+		pSh.Write(task, 0, 0, half)
+		pSh.PutSpace(task, 0, 64)
+		pSh.TaskDone(pT)
+		pSh.GetTask()
+	})
+	var got [64]byte
+	k.NewProc("cons", 0, func(p *sim.Proc) {
+		cSh.Bind(p)
+		for {
+			task, _, ok := cSh.GetTask()
+			if !ok {
+				return
+			}
+			if !cSh.GetSpace(task, 0, 64) {
+				continue
+			}
+			// Read back-to-front in 8-byte pieces.
+			for off := 56; off >= 0; off -= 8 {
+				cSh.Read(task, 0, uint32(off), got[off:off+8])
+			}
+			cSh.PutSpace(task, 0, 64)
+			cSh.TaskDone(cT)
+			cSh.GetTask()
+			return
+		}
+	})
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, got[:], 64)
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	r := newRig(t, 256, DefaultConfig("p"), DefaultConfig("c"))
+	r.produce(2048, 64, pattern)
+	r.consume(2048, 64)
+	if err := r.k.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, sh := range []*Shell{r.pSh, r.cSh} {
+		u := sh.Utilization()
+		if u < 0 || u > 1 {
+			t.Fatalf("%s utilization %v", sh.Name(), u)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with cycle granularity, used as the substrate for the cycle-accurate
+// Eclipse architecture model.
+//
+// The kernel advances a single global cycle counter (one cycle corresponds
+// to one coprocessor clock cycle, 150 MHz in the paper's first instance).
+// Two kinds of activity exist:
+//
+//   - Events: plain callbacks scheduled at an absolute cycle. Events
+//     scheduled for the same cycle run in scheduling order, so simulation
+//     is fully deterministic.
+//   - Processes: hardware threads of control (one per coprocessor, per
+//     prefetch engine, per memory port, ...). Each process runs on its own
+//     goroutine but the kernel resumes exactly one process at a time with a
+//     strict channel handoff, so process code may use ordinary sequential
+//     control flow (like the paper's coprocessor pseudo-code) without any
+//     data races or nondeterminism.
+//
+// The kernel is not safe for concurrent use from outside its processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     uint64
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	running *Proc // process currently executing, nil inside plain events
+	stopped bool
+	failure error
+}
+
+type event struct {
+	at  uint64
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation cycle.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Schedule registers fn to run at the current cycle plus delay.
+// A delay of 0 runs fn later within the current cycle, after all
+// previously scheduled work for this cycle.
+func (k *Kernel) Schedule(delay uint64, fn func()) {
+	k.seq++
+	heap.Push(&k.events, event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Stop terminates the simulation after the current event completes.
+// Pending events are discarded. Stop is typically called by a sink
+// process once the application has produced all of its output.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Fail terminates the simulation and makes Run return err.
+func (k *Kernel) Fail(err error) {
+	k.failure = err
+	k.stopped = true
+}
+
+// ErrDeadlock is returned by Run when processes remain blocked but no
+// events are pending, i.e. the modeled system has deadlocked (for
+// example because a stream buffer is too small for the application's
+// communication pattern).
+type DeadlockError struct {
+	Cycle   uint64
+	Blocked []string // names and wait states of the blocked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d, blocked: %v", e.Cycle, e.Blocked)
+}
+
+// LimitError is returned by Run when the cycle limit was reached before
+// the simulation finished.
+type LimitError struct {
+	Limit uint64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("sim: cycle limit %d reached", e.Limit)
+}
+
+// Run executes events until no work remains, Stop or Fail is called, or
+// the cycle counter exceeds limit (limit 0 means no limit). It returns
+// nil on a clean finish (all processes terminated or Stop called), a
+// *DeadlockError if blocked processes remain with no pending events, a
+// *LimitError on limit exhaustion, or the error passed to Fail.
+func (k *Kernel) Run(limit uint64) error {
+	defer k.shutdown()
+	for !k.stopped {
+		if len(k.events) == 0 {
+			if blocked := k.blockedProcs(); len(blocked) > 0 {
+				return &DeadlockError{Cycle: k.now, Blocked: blocked}
+			}
+			return nil // all quiet: clean finish
+		}
+		e := heap.Pop(&k.events).(event)
+		if limit != 0 && e.at > limit {
+			return &LimitError{Limit: limit}
+		}
+		if e.at < k.now {
+			panic("sim: event scheduled in the past")
+		}
+		k.now = e.at
+		e.fn()
+	}
+	return k.failure
+}
+
+// blockedProcs reports the names of live processes that are waiting on a
+// signal (not terminated, not scheduled).
+func (k *Kernel) blockedProcs() []string {
+	var out []string
+	for _, p := range k.procs {
+		if !p.done && p.started {
+			out = append(out, p.name+" ["+p.waitState+"]")
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shutdown unblocks any still-parked process goroutines so they can
+// terminate, preventing goroutine leaks across repeated simulations in
+// one Go process (e.g. during tests and benchmarks).
+func (k *Kernel) shutdown() {
+	for _, p := range k.procs {
+		if !p.done && p.started {
+			p.kill = true
+			p.resume <- struct{}{}
+			<-p.yield
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated hardware process: an independent thread of control
+// such as a coprocessor, a prefetch engine, or a memory port server.
+//
+// A Proc runs on its own goroutine, but the kernel guarantees that at most
+// one Proc executes at any instant (strict handoff), so Proc bodies may
+// freely touch shared model state without locking. Time only advances when
+// the body calls Delay or Wait.
+type Proc struct {
+	name      string
+	k         *Kernel
+	resume    chan struct{}
+	yield     chan struct{}
+	body      func(*Proc)
+	started   bool
+	done      bool
+	kill      bool
+	waitState string // description of what the proc is blocked on
+}
+
+// killProc is the panic value used to unwind a process goroutine when the
+// kernel shuts down before the process body has returned.
+type killProc struct{}
+
+// NewProc registers a process with the kernel. The body starts running at
+// cycle `start`. The name is used in deadlock reports and traces.
+func (k *Kernel) NewProc(name string, start uint64, body func(*Proc)) *Proc {
+	p := &Proc{
+		name:   name,
+		k:      k,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	k.procs = append(k.procs, p)
+	k.Schedule(start, func() { p.launch() })
+	return p
+}
+
+// launch starts the process goroutine and runs it until its first yield.
+func (p *Proc) launch() {
+	p.started = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killProc); ok {
+					p.done = true
+					p.yield <- struct{}{}
+					return
+				}
+				p.done = true
+				p.k.failure = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
+				p.k.stopped = true
+				p.yield <- struct{}{}
+				return
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.kill {
+			panic(killProc{})
+		}
+		p.body(p)
+	}()
+	p.dispatch()
+}
+
+// dispatch hands control to the process goroutine and waits until it
+// parks again (in Delay/Wait) or terminates.
+func (p *Proc) dispatch() {
+	prev := p.k.running
+	p.k.running = p
+	p.resume <- struct{}{}
+	<-p.yield
+	p.k.running = prev
+}
+
+// park yields control back to the kernel and blocks until dispatched again.
+func (p *Proc) park(state string) {
+	p.waitState = state
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(killProc{})
+	}
+	p.waitState = ""
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation cycle.
+func (p *Proc) Now() uint64 { return p.k.now }
+
+// Delay advances simulated time by the given number of cycles, modelling
+// the process being busy (or idle) for that long. Delay(0) re-schedules
+// the process at the current cycle behind already-pending work.
+func (p *Proc) Delay(cycles uint64) {
+	if p.k.running != p {
+		panic("sim: Delay called from outside the process")
+	}
+	p.k.Schedule(cycles, func() { p.dispatch() })
+	p.park(fmt.Sprintf("delay %d", cycles))
+}
+
+// Wait blocks the process until the signal fires. If the signal fires
+// multiple times before the process runs again, the wakeups coalesce.
+func (p *Proc) Wait(s *Signal) {
+	if p.k.running != p {
+		panic("sim: Wait called from outside the process")
+	}
+	s.waiters = append(s.waiters, p)
+	p.park("wait " + s.name)
+}
+
+// Signal is a broadcast wakeup primitive. Processes block on it with
+// Proc.Wait; Fire wakes all current waiters at the present cycle.
+// The zero value is not usable; create signals with NewSignal.
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal creates a signal. The name appears in deadlock reports.
+func (k *Kernel) NewSignal(name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Fire wakes every process currently waiting on the signal. The waiters
+// resume within the current cycle, after all previously scheduled work.
+func (s *Signal) Fire() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	woken := s.waiters
+	s.waiters = nil
+	for _, p := range woken {
+		p := p
+		s.k.Schedule(0, func() { p.dispatch() })
+	}
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(10, func() { got = append(got, 2) })
+	k.Schedule(5, func() { got = append(got, 1) })
+	k.Schedule(10, func() { got = append(got, 3) }) // same cycle: schedule order
+	k.Schedule(20, func() { got = append(got, 4) })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", k.Now())
+	}
+}
+
+func TestZeroDelayRunsAfterPendingSameCycleWork(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Schedule(3, func() {
+		got = append(got, "a")
+		k.Schedule(0, func() { got = append(got, "c") })
+	})
+	k.Schedule(3, func() { got = append(got, "b") })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s := strings.Join(got, ""); s != "abc" {
+		t.Fatalf("order = %q, want abc", s)
+	}
+}
+
+func TestEventDeterminism(t *testing.T) {
+	// The same randomized scheduling program must produce the identical
+	// trace on every run.
+	run := func(seed int64) string {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var sb strings.Builder
+		var spawn func(depth int)
+		n := 0
+		spawn = func(depth int) {
+			if depth > 4 || n > 200 {
+				return
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				id := n
+				n++
+				k.Schedule(uint64(rng.Intn(10)), func() {
+					fmt.Fprintf(&sb, "%d@%d;", id, k.Now())
+					spawn(depth + 1)
+				})
+			}
+		}
+		spawn(0)
+		if err := k.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sb.String()
+	}
+	for seed := int64(1); seed < 6; seed++ {
+		a, b := run(seed), run(seed)
+		if a != b {
+			t.Fatalf("seed %d: nondeterministic trace:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestProcDelayAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var at []uint64
+	k.NewProc("p", 0, func(p *Proc) {
+		at = append(at, p.Now())
+		p.Delay(7)
+		at = append(at, p.Now())
+		p.Delay(3)
+		at = append(at, p.Now())
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []uint64{0, 7, 10}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("at = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestProcStartOffset(t *testing.T) {
+	k := NewKernel()
+	var start uint64
+	k.NewProc("late", 42, func(p *Proc) { start = p.Now() })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if start != 42 {
+		t.Fatalf("start = %d, want 42", start)
+	}
+}
+
+func TestStrictHandoff(t *testing.T) {
+	// Two processes interleave deterministically: only one runs at a time,
+	// and wakeups at the same cycle run in schedule order.
+	k := NewKernel()
+	var trace []string
+	mk := func(name string, period uint64) {
+		k.NewProc(name, 0, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, fmt.Sprintf("%s%d@%d", name, i, p.Now()))
+				p.Delay(period)
+			}
+		})
+	}
+	mk("a", 2)
+	mk("b", 3)
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "a0@0 b0@0 a1@2 b1@3 a2@4 b2@6"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	sig := k.NewSignal("go")
+	var woke []string
+	for _, n := range []string{"x", "y"} {
+		n := n
+		k.NewProc(n, 0, func(p *Proc) {
+			p.Wait(sig)
+			woke = append(woke, fmt.Sprintf("%s@%d", n, p.Now()))
+		})
+	}
+	k.Schedule(9, func() { sig.Fire() })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := strings.Join(woke, " "); got != "x@9 y@9" {
+		t.Fatalf("woke = %q", got)
+	}
+}
+
+func TestSignalFireWithNoWaiters(t *testing.T) {
+	k := NewKernel()
+	sig := k.NewSignal("none")
+	k.Schedule(1, func() { sig.Fire() })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	sig := k.NewSignal("never")
+	k.NewProc("stuck", 0, func(p *Proc) { p.Wait(sig) })
+	err := k.Run(0)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || !strings.Contains(dl.Blocked[0], "stuck") {
+		t.Fatalf("blocked = %v", dl.Blocked)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	k := NewKernel()
+	k.NewProc("spin", 0, func(p *Proc) {
+		for {
+			p.Delay(100)
+		}
+	})
+	err := k.Run(1000)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LimitError", err)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.NewProc("p", 0, func(p *Proc) {
+		for {
+			ran++
+			if ran == 5 {
+				k.Stop()
+			}
+			p.Delay(1)
+		}
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5", ran)
+	}
+}
+
+func TestFailPropagatesError(t *testing.T) {
+	k := NewKernel()
+	boom := errors.New("boom")
+	k.Schedule(4, func() { k.Fail(boom) })
+	k.Schedule(9, func() { t.Fatal("event after Fail must not run") })
+	if err := k.Run(0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestProcPanicBecomesError(t *testing.T) {
+	k := NewKernel()
+	k.NewProc("bad", 0, func(p *Proc) {
+		p.Delay(2)
+		panic("oops")
+	})
+	err := k.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+}
+
+func TestShutdownReleasesBlockedProcs(t *testing.T) {
+	// After Run returns with a deadlock, the blocked goroutines must have
+	// been unwound; a subsequent kernel must work normally.
+	for i := 0; i < 3; i++ {
+		k := NewKernel()
+		sig := k.NewSignal("never")
+		for j := 0; j < 4; j++ {
+			k.NewProc(fmt.Sprintf("w%d", j), 0, func(p *Proc) {
+				p.Wait(sig)
+				t.Error("waiter must not resume normally")
+			})
+		}
+		var dl *DeadlockError
+		if err := k.Run(0); !errors.As(err, &dl) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}
+
+func TestManyProcsInterleaveDeterministically(t *testing.T) {
+	run := func() string {
+		k := NewKernel()
+		var sb strings.Builder
+		for i := 0; i < 16; i++ {
+			i := i
+			k.NewProc(fmt.Sprintf("p%d", i), uint64(i%4), func(p *Proc) {
+				for j := 0; j < 8; j++ {
+					p.Delay(uint64(1 + (i+j)%5))
+				}
+				fmt.Fprintf(&sb, "%d@%d;", i, p.Now())
+			})
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sb.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestQuickDelaySumsToNow(t *testing.T) {
+	// Property: a process performing arbitrary delays finishes at exactly
+	// the sum of its delays (when started at 0 and alone in the kernel).
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var sum, end uint64
+		k.NewProc("p", 0, func(p *Proc) {
+			for _, d := range delays {
+				sum += uint64(d)
+				p.Delay(uint64(d))
+			}
+			end = p.Now()
+		})
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		return end == sum && k.Now() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitOutsideProcPanics(t *testing.T) {
+	k := NewKernel()
+	sig := k.NewSignal("s")
+	var p *Proc
+	p = k.NewProc("p", 0, func(pp *Proc) { pp.Delay(1) })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Wait(sig)
+}

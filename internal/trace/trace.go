@@ -1,0 +1,186 @@
+// Package trace implements the performance-measurement side of Eclipse
+// (paper Section 5.4): a sampling process that, at a configurable
+// interval, reads probes registered against the shells' measurement
+// counters (stream-buffer filling, coprocessor utilization, task stall
+// time) and accumulates time series. The series feed the visualization
+// tooling (package viz and cmd/eclipse-viz), reproducing the paper's
+// Figure 9/10 views, and export to CSV for external tools.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eclipse/internal/sim"
+)
+
+// Series is one sampled quantity over time.
+type Series struct {
+	Name string
+	X    []uint64 // sample cycles
+	Y    []float64
+}
+
+// Max returns the largest sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Y {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average sample value (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Collector samples registered probes at a fixed interval.
+type Collector struct {
+	k        *sim.Kernel
+	interval uint64
+	probes   []probe
+	series   map[string]*Series
+	running  bool
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewCollector creates a collector sampling every interval cycles.
+func NewCollector(k *sim.Kernel, interval uint64) *Collector {
+	if interval == 0 {
+		interval = 256
+	}
+	return &Collector{k: k, interval: interval, series: map[string]*Series{}}
+}
+
+// Add registers a probe; fn is called at every sample point.
+func (c *Collector) Add(name string, fn func() float64) {
+	c.probes = append(c.probes, probe{name: name, fn: fn})
+	c.series[name] = &Series{Name: name}
+}
+
+// Start begins sampling. It must be called before the simulation runs;
+// sampling continues until the kernel stops.
+func (c *Collector) Start() {
+	if c.running || len(c.probes) == 0 {
+		return
+	}
+	c.running = true
+	var tick func()
+	tick = func() {
+		c.sample()
+		c.k.Schedule(c.interval, tick)
+	}
+	c.k.Schedule(0, tick)
+}
+
+func (c *Collector) sample() {
+	now := c.k.Now()
+	for _, p := range c.probes {
+		s := c.series[p.name]
+		s.X = append(s.X, now)
+		s.Y = append(s.Y, p.fn())
+	}
+}
+
+// Series returns the samples of a named probe, or nil.
+func (c *Collector) Series(name string) *Series { return c.series[name] }
+
+// Names returns the registered probe names, sorted.
+func (c *Collector) Names() []string {
+	names := make([]string, 0, len(c.series))
+	for n := range c.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Interval returns the sampling interval in cycles.
+func (c *Collector) Interval() uint64 { return c.interval }
+
+// WriteCSV emits all series in long form: cycle,series,value.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,series,value"); err != nil {
+		return err
+	}
+	for _, name := range c.Names() {
+		s := c.series[name]
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%d,%s,%g\n", s.X[i], name, s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses series from the long-form CSV produced by WriteCSV
+// (`cycle,series,value`, with an optional header line).
+func ReadCSV(r io.Reader) (map[string]*Series, error) {
+	out := map[string]*Series{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "cycle,")) {
+			continue
+		}
+		parts := strings.SplitN(text, ",", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want cycle,series,value", line)
+		}
+		cyc, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad cycle %q", line, parts[0])
+		}
+		val, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad value %q", line, parts[2])
+		}
+		s := out[parts[1]]
+		if s == nil {
+			s = &Series{Name: parts[1]}
+			out[parts[1]] = s
+		}
+		s.X = append(s.X, cyc)
+		s.Y = append(s.Y, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: no series")
+	}
+	return out, nil
+}
+
+// DeltaProbe adapts a monotonically increasing counter into a per-
+// interval rate probe (e.g. busy cycles → utilization per interval).
+func DeltaProbe(counter func() uint64, scale float64) func() float64 {
+	var last uint64
+	return func() float64 {
+		v := counter()
+		d := v - last
+		last = v
+		return float64(d) * scale
+	}
+}

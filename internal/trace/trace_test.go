@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eclipse/internal/sim"
+)
+
+func TestCollectorSamples(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 10)
+	v := 0.0
+	c.Add("x", func() float64 { v++; return v })
+	c.Start()
+	// The sampler reschedules forever (real runs are stopped by the
+	// fabric); stop explicitly after the window of interest.
+	k.Schedule(96, k.Stop)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Series("x")
+	if s == nil {
+		t.Fatal("missing series")
+	}
+	// Samples at 0,10,...,90 plus possibly one more at the tail.
+	if len(s.X) < 10 || len(s.X) > 11 {
+		t.Fatalf("%d samples", len(s.X))
+	}
+	if s.X[0] != 0 || s.X[1] != 10 {
+		t.Fatalf("sample cycles %v", s.X[:2])
+	}
+	if s.Y[0] != 1 || s.Y[9] != 10 {
+		t.Fatalf("sample values %v", s.Y)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "s", X: []uint64{0, 1, 2}, Y: []float64{1, 5, 3}}
+	if s.Max() != 5 {
+		t.Fatalf("max %v", s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	empty := &Series{}
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series stats")
+	}
+}
+
+func TestCollectorNamesSorted(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 10)
+	c.Add("zebra", func() float64 { return 0 })
+	c.Add("alpha", func() float64 { return 0 })
+	names := c.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zebra" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 5)
+	c.Add("a", func() float64 { return 2.5 })
+	c.Start()
+	k.Schedule(9, k.Stop)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "cycle,series,value\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0,a,2.5") || !strings.Contains(out, "5,a,2.5") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+}
+
+func TestDeltaProbe(t *testing.T) {
+	counter := uint64(0)
+	p := DeltaProbe(func() uint64 { return counter }, 0.5)
+	if p() != 0 {
+		t.Fatal("first delta")
+	}
+	counter = 10
+	if got := p(); got != 5 {
+		t.Fatalf("delta %v", got)
+	}
+	counter = 12
+	if got := p(); got != 1 {
+		t.Fatalf("delta %v", got)
+	}
+}
+
+func TestZeroIntervalDefaults(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 0)
+	if c.Interval() == 0 {
+		t.Fatal("interval not defaulted")
+	}
+}
+
+func TestStartWithoutProbesIsNoop(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 10)
+	c.Start() // no probes: must not schedule the eternal ticker
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("ticker ran: now %d", k.Now())
+	}
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCollector(k, 5)
+	v := 0.0
+	c.Add("a", func() float64 { v += 1.5; return v })
+	c.Add("b", func() float64 { return 7 })
+	c.Start()
+	k.Schedule(19, k.Stop)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		got, want := series[name], c.Series(name)
+		if got == nil || len(got.X) != len(want.X) {
+			t.Fatalf("series %s: %v", name, got)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] || got.Y[i] != want.Y[i] {
+				t.Fatalf("series %s sample %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"malformed": "1,just-two\n",
+		"bad cycle": "x,a,1\n",
+		"bad value": "1,a,zebra\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

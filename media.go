@@ -1,0 +1,80 @@
+package eclipse
+
+import (
+	"eclipse/internal/copro"
+	"eclipse/internal/kpn"
+	"eclipse/internal/media"
+)
+
+// Re-exports of the codec substrate so applications built on this module
+// (examples, tools) program against the single public package.
+
+// Frame is a single-component picture (alias of the internal codec type).
+type Frame = media.Frame
+
+// SeqHeader carries sequence-level codec parameters.
+type SeqHeader = media.SeqHeader
+
+// CodecConfig parameterizes the encoder.
+type CodecConfig = media.CodecConfig
+
+// SourceConfig parameterizes the synthetic video generator.
+type SourceConfig = media.SourceConfig
+
+// EncodeStats summarizes an encode run.
+type EncodeStats = media.EncodeStats
+
+// NewFrame allocates a zeroed frame (dimensions in pixels, multiples of 16).
+func NewFrame(w, h int) *Frame { return media.NewFrame(w, h) }
+
+// DefaultCodec returns MPEG-like encoder settings (GOP IBBPBBP..., N=12,
+// M=3) for the given frame size.
+func DefaultCodec(w, h int) CodecConfig { return media.DefaultCodec(w, h) }
+
+// DefaultSource returns a synthetic video source configuration with
+// trackable motion and natural-like texture.
+func DefaultSource(w, h int) SourceConfig { return media.DefaultSource(w, h) }
+
+// GenerateVideo produces n frames of deterministic synthetic video.
+func GenerateVideo(cfg SourceConfig, n int) []*Frame {
+	return media.NewSource(cfg).Frames(n)
+}
+
+// Encode compresses frames (display order) with the reference encoder and
+// returns the bitstream, the decoder-exact reconstructions, and stats.
+func Encode(cfg CodecConfig, frames []*Frame) ([]byte, []*Frame, *EncodeStats, error) {
+	return media.Encode(cfg, frames)
+}
+
+// DecodeReference runs the monolithic reference decoder and returns the
+// frames in display order.
+func DecodeReference(stream []byte) ([]*Frame, error) {
+	res, err := media.Decode(stream)
+	if err != nil {
+		return nil, err
+	}
+	return res.DisplayFrames(), nil
+}
+
+// ParseSeq reads the sequence header of a bitstream.
+func ParseSeq(stream []byte) (SeqHeader, error) {
+	return media.ParseSeqHeader(media.NewBitReader(stream))
+}
+
+// RunFunctionalDecode executes the decode process network untimed, with
+// every task as a software goroutine and streams as bounded channels —
+// the Kahn reference semantics against which the Eclipse mapping is
+// verified. It returns the decoded frames in display order.
+func RunFunctionalDecode(stream []byte, bufs DecodeBuffers) ([]*Frame, error) {
+	seq, err := ParseSeq(stream)
+	if err != nil {
+		return nil, err
+	}
+	g := DecodeGraph("fdec", bufs)
+	var out copro.FunctionalSink
+	funcs := copro.FunctionalDecodeFuncs(stream, seq, &out)
+	if err := kpn.Run(g, funcs); err != nil {
+		return nil, err
+	}
+	return out.Frames, nil
+}

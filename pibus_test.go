@@ -1,0 +1,115 @@
+package eclipse
+
+import (
+	"testing"
+)
+
+func TestPIMonitorCollectsSamples(t *testing.T) {
+	stream, _ := encodeSequence(t, 64, 48, 6, nil)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := sys.AddPIMonitor(2048)
+	cycles, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Samples) < 2 {
+		t.Fatalf("%d samples over %d cycles", len(mon.Samples), cycles)
+	}
+	// Step counters read over the PI bus must be monotone.
+	key := ""
+	for k := range mon.Samples[0].Values {
+		if len(k) > 5 && k[len(k)-5:] == "steps" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatalf("no step register in %v", mon.Samples[0].Values)
+	}
+	var prev uint64
+	grew := false
+	for _, s := range mon.Samples {
+		v := s.Values[key]
+		if v < prev {
+			t.Fatalf("register %s went backwards: %d -> %d", key, prev, v)
+		}
+		if v > prev {
+			grew = true
+		}
+		prev = v
+	}
+	if !grew {
+		t.Fatalf("register %s never advanced", key)
+	}
+	// The control bus has a visible, modest cost.
+	reads, busy := mon.Bus.Stats()
+	if reads == 0 || busy == 0 {
+		t.Fatal("no PI bus traffic")
+	}
+	if u := mon.Bus.Utilization(); u <= 0 || u > 0.5 {
+		t.Fatalf("PI utilization %.3f out of plausible range", u)
+	}
+}
+
+func TestPIMonitorAggressiveSamplingCosts(t *testing.T) {
+	// The paper's point in Section 5.4: collecting every few cycles over
+	// the control bus is expensive. A very short interval must raise PI
+	// utilization well above a coarse one.
+	run := func(interval uint64) float64 {
+		stream, _ := encodeSequence(t, 48, 32, 3, nil)
+		sys := NewSystem(Fig8())
+		if _, err := sys.AddDecodeApp("dec", stream, DecodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		mon := sys.AddPIMonitor(interval)
+		if _, err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return mon.Bus.Utilization()
+	}
+	fine, coarse := run(128), run(8192)
+	if fine <= coarse {
+		t.Fatalf("fine sampling (%.4f) not costlier than coarse (%.4f)", fine, coarse)
+	}
+}
+
+// TestProcessingStepGranularity verifies the paper's Section 5.3 target:
+// coprocessor processing steps fall in the 10–1000 cycle range (software
+// tasks and frame-boundary micro-steps may sit below it; the histogram's
+// median for the hardware pipeline tasks must be inside).
+func TestProcessingStepGranularity(t *testing.T) {
+	stream, _ := encodeSequence(t, 96, 80, 6, nil)
+	sys := NewSystem(Fig8())
+	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []string{"vld", "rlsq", "idct", "mc"} {
+		st, err := sys.TaskStats("dec-" + task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p50 := st.StepPercentile(0.5)
+		p95 := st.StepPercentile(0.95)
+		if p50 < 8 || p50 > 1024 {
+			t.Errorf("%s: median step %d cycles outside the paper's 10-1000 target", task, p50)
+		}
+		if p95 > 4096 {
+			t.Errorf("%s: p95 step %d cycles implausibly long", task, p95)
+		}
+		t.Logf("%-5s steps=%5d p50=%4d p95=%4d cycles", task, st.Steps, p50, p95)
+	}
+}

@@ -1,0 +1,84 @@
+package eclipse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"eclipse/internal/trace"
+	"eclipse/internal/viz"
+)
+
+// WriteReport prints the Figure 9 style performance views of a finished
+// run: the architecture view (coprocessor utilization, bus occupancy,
+// cache behaviour) and the application view (per-task steps/switches/
+// stalls and per-stream traffic).
+func (s *System) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "== architecture view (cycle %d) ==\n\n", s.K.Now())
+	var bars []viz.BarItem
+	for _, u := range s.Utilizations() {
+		bars = append(bars, viz.BarItem{Label: u.Name + " busy", Value: u.Busy})
+	}
+	bars = append(bars,
+		viz.BarItem{Label: "sram read bus", Value: s.SRAM.ReadPort().Utilization()},
+		viz.BarItem{Label: "sram write bus", Value: s.SRAM.WritePort().Utilization()},
+		viz.BarItem{Label: "system bus", Value: s.DRAM.ReadPort().Utilization()},
+	)
+	io.WriteString(w, viz.RenderBars(bars))
+
+	fmt.Fprintf(w, "\ncaches (read hits/misses, write flushes):\n")
+	names := s.CoproNames()
+	sort.Strings(names)
+	for _, n := range names {
+		sh := s.Shell(n)
+		r, wr := sh.ReadCacheStats(), sh.WriteCacheStats()
+		fmt.Fprintf(w, "  %-5s read %8d/%-8d  write flushes %8d evictions %d\n",
+			n, r.Hits, r.Misses, wr.Flushes, wr.Evictions)
+	}
+
+	fmt.Fprintf(w, "\n== application view ==\n\n")
+	fmt.Fprintf(w, "%-14s %10s %9s %9s %12s %8s %10s\n", "task", "steps", "switches", "denied", "run-cycles", "share", "step-p50")
+	taskNames := make([]string, 0, len(s.tasks))
+	for n := range s.tasks {
+		taskNames = append(taskNames, n)
+	}
+	sort.Strings(taskNames)
+	now := s.K.Now()
+	for _, n := range taskNames {
+		st, _ := s.TaskStats(n)
+		share := 0.0
+		if now > 0 {
+			share = float64(st.RunCycles) / float64(now)
+		}
+		fmt.Fprintf(w, "%-14s %10d %9d %9d %12d %7.1f%% %10d\n",
+			n, st.Steps, st.Switches, st.DeniedSteps, st.RunCycles, share*100, st.StepPercentile(0.5))
+	}
+}
+
+// WriteCharts renders every collected trace series as an ASCII chart
+// (the Figure 10 style application view).
+func (s *System) WriteCharts(w io.Writer) {
+	c := viz.DefaultChart()
+	for _, name := range s.Collector.Names() {
+		io.WriteString(w, c.Render(s.Collector.Series(name), ""))
+		io.WriteString(w, "\n")
+	}
+}
+
+// WriteTraceCSV exports all collected series in long-form CSV.
+func (s *System) WriteTraceCSV(w io.Writer) error {
+	return s.Collector.WriteCSV(w)
+}
+
+// ChartSeries renders one named series with an annotation line.
+func (s *System) ChartSeries(w io.Writer, name, annot string) error {
+	series := s.Collector.Series(name)
+	if series == nil {
+		return fmt.Errorf("eclipse: no trace series %q (have %v)", name, s.Collector.Names())
+	}
+	_, err := io.WriteString(w, viz.DefaultChart().Render(series, annot))
+	return err
+}
+
+// Series exposes a collected trace series by name (nil if absent).
+func (s *System) Series(name string) *trace.Series { return s.Collector.Series(name) }

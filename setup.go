@@ -1,0 +1,222 @@
+package eclipse
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"eclipse/internal/config"
+	"eclipse/internal/media"
+	"eclipse/internal/shell"
+)
+
+// SetupApp is one application instantiated from a setup file.
+type SetupApp struct {
+	Name   string
+	Kind   string // "decode" or "encode"
+	Decode *DecodeApp
+	Encode *EncodeApp
+	// Verify checks the application's output against its reference
+	// implementation after the run.
+	Verify func() error
+}
+
+// LoadSetup parses a setup file (see internal/config.Example), assembles
+// the described Eclipse instance, generates the described workloads, and
+// maps the applications. Run the returned system and then Verify each
+// app.
+func LoadSetup(r io.Reader) (*System, []*SetupApp, error) {
+	f, err := config.Parse(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	arch := Fig8()
+	if err := applyArch(f, &arch); err != nil {
+		return nil, nil, err
+	}
+	sys := NewSystem(arch)
+	var apps []*SetupApp
+	for _, s := range f.Find("app") {
+		s := s
+		if len(s.Args) != 2 {
+			return nil, nil, fmt.Errorf("config: line %d: want [app decode|encode NAME]", s.Line)
+		}
+		app, err := buildApp(sys, &s)
+		if err != nil {
+			return nil, nil, err
+		}
+		apps = append(apps, app)
+	}
+	if len(apps) == 0 {
+		return nil, nil, fmt.Errorf("config: no [app ...] sections")
+	}
+	return sys, apps, nil
+}
+
+// applyArch folds [arch], [shell], [shell NAME], and [costs] sections
+// into the architecture description.
+func applyArch(f *config.File, arch *Arch) error {
+	for _, s := range f.Find("arch") {
+		s := s
+		d := config.NewDecoder(&s)
+		sramKB := arch.SRAM.Size / 1024
+		d.Int("sram_kb", &sramKB)
+		d.Int("sram_width", &arch.SRAM.Width)
+		d.Uint64("sram_read_latency", &arch.SRAM.ReadLatency)
+		d.Uint64("sram_write_latency", &arch.SRAM.WriteLatency)
+		d.Uint64("dram_read_latency", &arch.DRAM.ReadLatency)
+		d.Uint64("dram_write_latency", &arch.DRAM.WriteLatency)
+		d.Uint64("sample_interval", &arch.SampleInterval)
+		d.Bool("distributed_streams", &arch.DistributedStreams)
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		arch.SRAM.Size = sramKB * 1024
+	}
+	decodeShell := func(s *config.Section, cfg *shell.Config) error {
+		d := config.NewDecoder(s)
+		d.Int("read_cache_lines", &cfg.ReadCacheLines)
+		d.Int("write_cache_lines", &cfg.WriteCacheLines)
+		d.Int("prefetch_depth", &cfg.PrefetchDepth)
+		d.Uint64("msg_latency", &cfg.MsgLatency)
+		d.Uint64("gettask_cycles", &cfg.GetTaskCycles)
+		d.Uint64("getspace_cycles", &cfg.GetSpaceCycles)
+		d.Uint64("putspace_cycles", &cfg.PutSpaceCycles)
+		d.Uint64("switch_cycles", &cfg.SwitchCycles)
+		d.Uint64("access_cycles", &cfg.AccessCycles)
+		d.Bool("naive_scheduler", &cfg.NaiveScheduler)
+		return d.Finish()
+	}
+	for _, s := range f.Find("shell") {
+		s := s
+		switch len(s.Args) {
+		case 0:
+			if err := decodeShell(&s, &arch.Shell); err != nil {
+				return err
+			}
+		case 1:
+			cfg := arch.Shell
+			if prev, ok := arch.ShellOverride[s.Args[0]]; ok {
+				cfg = prev
+			}
+			if err := decodeShell(&s, &cfg); err != nil {
+				return err
+			}
+			if arch.ShellOverride == nil {
+				arch.ShellOverride = map[string]shell.Config{}
+			}
+			arch.ShellOverride[s.Args[0]] = cfg
+		default:
+			return fmt.Errorf("config: line %d: want [shell] or [shell NAME]", s.Line)
+		}
+	}
+	for _, s := range f.Find("costs") {
+		s := s
+		d := config.NewDecoder(&s)
+		d.Uint64("vld_base", &arch.Costs.VLDBase)
+		d.Uint64("vld_per_bit", &arch.Costs.VLDPerBit)
+		d.Uint64("rlsq_base", &arch.Costs.RLSQBase)
+		d.Uint64("rlsq_per_token", &arch.Costs.RLSQPerToken)
+		d.Uint64("rlsq_per_block", &arch.Costs.RLSQPerBlock)
+		d.Uint64("dct_per_block", &arch.Costs.DCTPerBlock)
+		d.Bool("dct_pipelined", &arch.Costs.DCTPipelined)
+		d.Uint64("mc_recon", &arch.Costs.MCRecon)
+		d.Uint64("mc_bi_extra", &arch.Costs.MCBiExtra)
+		d.Uint64("me_per_candidate", &arch.Costs.MEPerCandidate)
+		d.Uint64("sw_chunk", &arch.Costs.SWChunk)
+		d.Uint64("sw_per_mb", &arch.Costs.SWPerMB)
+		if err := d.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appSpec is the workload description shared by decode and encode apps.
+type appSpec struct {
+	w, h, frames  int
+	q, gopN, gopM int
+	seed          int64
+	probes        bool
+	budget        uint64
+	halfPel       bool
+}
+
+func decodeAppSpec(s *config.Section) (appSpec, error) {
+	spec := appSpec{w: 96, h: 80, frames: 8, q: 6, gopN: 12, gopM: 3, seed: 1}
+	d := config.NewDecoder(s)
+	d.Int("width", &spec.w)
+	d.Int("height", &spec.h)
+	d.Int("frames", &spec.frames)
+	d.Int("q", &spec.q)
+	d.Int("gop_n", &spec.gopN)
+	d.Int("gop_m", &spec.gopM)
+	d.Int64("seed", &spec.seed)
+	d.Bool("probes", &spec.probes)
+	d.Uint64("budget", &spec.budget)
+	d.Bool("half_pel", &spec.halfPel)
+	return spec, d.Finish()
+}
+
+func (spec *appSpec) codec() media.CodecConfig {
+	cfg := media.DefaultCodec(spec.w, spec.h)
+	cfg.Q = spec.q
+	cfg.GOPN = spec.gopN
+	cfg.GOPM = spec.gopM
+	cfg.HalfPel = spec.halfPel
+	return cfg
+}
+
+func (spec *appSpec) video() []*media.Frame {
+	src := media.DefaultSource(spec.w, spec.h)
+	src.Seed = spec.seed
+	return media.NewSource(src).Frames(spec.frames)
+}
+
+// buildApp instantiates one [app ...] section on the system.
+func buildApp(sys *System, s *config.Section) (*SetupApp, error) {
+	kind, name := s.Args[0], s.Args[1]
+	spec, err := decodeAppSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.codec()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("config: app %s: %w", name, err)
+	}
+	frames := spec.video()
+	switch kind {
+	case "decode":
+		stream, _, _, err := media.Encode(cfg, frames)
+		if err != nil {
+			return nil, err
+		}
+		app, err := sys.AddDecodeApp(name, stream, DecodeOptions{Probes: spec.probes, Budget: spec.budget})
+		if err != nil {
+			return nil, err
+		}
+		return &SetupApp{
+			Name: name, Kind: kind, Decode: app,
+			Verify: func() error { return app.VerifyAgainstReference(stream) },
+		}, nil
+	case "encode":
+		app, err := sys.AddEncodeApp(name, cfg, frames, EncodeOptions{Probes: spec.probes, Budget: spec.budget})
+		if err != nil {
+			return nil, err
+		}
+		return &SetupApp{
+			Name: name, Kind: kind, Encode: app,
+			Verify: func() error { return app.VerifyAgainstReference(cfg, frames) },
+		}, nil
+	default:
+		return nil, fmt.Errorf("config: line %d: unknown app kind %q", s.Line, kind)
+	}
+}
+
+// LoadSetupString is LoadSetup over an in-memory setup file.
+func LoadSetupString(text string) (*System, []*SetupApp, error) {
+	return LoadSetup(strings.NewReader(text))
+}
+
+// ExampleSetup is the annotated example setup file.
+const ExampleSetup = config.Example

@@ -1,0 +1,78 @@
+package eclipse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSetupExampleRuns(t *testing.T) {
+	sys, apps, err := LoadSetup(strings.NewReader(ExampleSetup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("%d apps", len(apps))
+	}
+	if _, err := sys.Run(50_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps {
+		if err := app.Verify(); err != nil {
+			t.Errorf("app %s: %v", app.Name, err)
+		}
+	}
+	// The dct shell override must have taken effect.
+	if got := sys.Shell("dct").Config().ReadCacheLines; got != 32 {
+		t.Errorf("dct read cache lines = %d, want 32", got)
+	}
+	// Probed decode app must have series.
+	if s := sys.Collector.Series("dec0/rlsq.in"); s == nil || len(s.X) == 0 {
+		t.Error("missing probe series from setup")
+	}
+}
+
+func TestLoadSetupErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"no apps", "[arch]\nsram_kb = 32\n"},
+		{"bad key", "[arch]\nbogus = 1\n[app decode d]\n"},
+		{"bad value", "[arch]\nsram_kb = banana\n[app decode d]\n"},
+		{"bad app kind", "[app transmogrify x]\nwidth=32\n"},
+		{"bad app args", "[app decode]\n"},
+		{"key outside section", "width = 32\n"},
+		{"unterminated header", "[arch\n"},
+		{"duplicate key", "[arch]\nsram_kb = 1\nsram_kb = 2\n[app decode d]\n"},
+		{"bad shell args", "[shell a b]\nmsg_latency = 1\n[app decode d]\n"},
+		{"bad codec", "[app decode d]\nq = 99\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := LoadSetup(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSetupNaiveSchedulerKey(t *testing.T) {
+	text := `
+[shell]
+naive_scheduler = true
+[app decode d]
+width = 48
+height = 32
+frames = 3
+`
+	sys, apps, err := LoadSetup(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Shell("vld").Config().NaiveScheduler {
+		t.Fatal("naive_scheduler not applied")
+	}
+	if _, err := sys.Run(50_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := apps[0].Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,421 @@
+package eclipse
+
+import (
+	"fmt"
+
+	"eclipse/internal/media"
+	"eclipse/internal/mem"
+	"eclipse/internal/shell"
+	"eclipse/internal/sim"
+)
+
+// Design-space exploration runners (paper Section 7: "Experiments include
+// caching strategies in the shell (e.g. varying cache size, cache
+// prefetching or not), bus latency and width, etc."), plus the scheduler
+// and coupling studies of Sections 5.3 and 2.2.
+
+// SweepPoint is one configuration's outcome in a parameter sweep.
+type SweepPoint struct {
+	Label  string
+	Param  float64
+	Cycles uint64
+	Extra  map[string]float64 // experiment-specific metrics
+}
+
+// runDecodeWith runs a decode of stream on a customized architecture and
+// returns the cycle count, verifying output correctness.
+func runDecodeWith(stream []byte, mutate func(*Arch), opt DecodeOptions) (uint64, *System, error) {
+	arch := Fig8()
+	if mutate != nil {
+		mutate(&arch)
+	}
+	sys := NewSystem(arch)
+	app, err := sys.AddDecodeApp("dec", stream, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	cycles, err := sys.Run(50_000_000_000)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := app.VerifyAgainstReference(stream); err != nil {
+		return 0, nil, err
+	}
+	return cycles, sys, nil
+}
+
+// RunCacheSweep measures decode time against shell data-cache capacity
+// (read and write caches, lines of the bus width). Expected shape:
+// diminishing returns with size (paper Section 7).
+func RunCacheSweep(stream []byte, lines []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, n := range lines {
+		n := n
+		cycles, sys, err := runDecodeWith(stream, func(a *Arch) {
+			a.Shell.ReadCacheLines = n
+			a.Shell.WriteCacheLines = n
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("cache %d lines: %w", n, err)
+		}
+		st := sys.Shell("rlsq").ReadCacheStats()
+		hitRate := 0.0
+		if st.Hits+st.Misses > 0 {
+			hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		out = append(out, SweepPoint{
+			Label: fmt.Sprintf("%d lines (%d B)", n, n*16), Param: float64(n),
+			Cycles: cycles, Extra: map[string]float64{"rlsq_read_hit_rate": hitRate},
+		})
+	}
+	return out, nil
+}
+
+// RunPrefetchSweep measures decode time against shell prefetch depth
+// (0 disables prefetching, the paper's "cache prefetching or not").
+func RunPrefetchSweep(stream []byte, depths []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, d := range depths {
+		d := d
+		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
+			a.Shell.PrefetchDepth = d
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("prefetch %d: %w", d, err)
+		}
+		out = append(out, SweepPoint{Label: fmt.Sprintf("depth %d", d), Param: float64(d), Cycles: cycles})
+	}
+	return out, nil
+}
+
+// RunBusWidthSweep measures decode time against the stream-memory data
+// path width (the paper's 128-bit choice among alternatives).
+func RunBusWidthSweep(stream []byte, widths []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, w := range widths {
+		w := w
+		cycles, sys, err := runDecodeWith(stream, func(a *Arch) {
+			a.SRAM.Width = w
+			a.Shell.LineBytes = w
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("width %d: %w", w, err)
+		}
+		out = append(out, SweepPoint{
+			Label: fmt.Sprintf("%d bit", w*8), Param: float64(w), Cycles: cycles,
+			Extra: map[string]float64{
+				"read_bus_util":  sys.SRAM.ReadPort().Utilization(),
+				"write_bus_util": sys.SRAM.WritePort().Utilization(),
+			},
+		})
+	}
+	return out, nil
+}
+
+// RunBusLatencySweep measures decode time against stream-memory access
+// latency.
+func RunBusLatencySweep(stream []byte, latencies []uint64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, l := range latencies {
+		l := l
+		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
+			a.SRAM.ReadLatency = l
+			a.SRAM.WriteLatency = l
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("latency %d: %w", l, err)
+		}
+		out = append(out, SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles})
+	}
+	return out, nil
+}
+
+// RunMsgLatencySweep measures decode time against the putspace-message
+// network latency — the cost of the distributed synchronization fabric
+// (Section 5.1's Figure 7 messages).
+func RunMsgLatencySweep(stream []byte, latencies []uint64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, l := range latencies {
+		l := l
+		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
+			a.Shell.MsgLatency = l
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("msg latency %d: %w", l, err)
+		}
+		out = append(out, SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles})
+	}
+	return out, nil
+}
+
+// RunBufferScaleSweep measures decode time against stream buffer sizing
+// (the coupling discussion of Section 2.2: looser coupling needs larger
+// buffers; too-small buffers serialize or deadlock the pipeline). Scales
+// below the minimum record sizes are reported as failures via the Extra
+// metric "failed" = 1.
+func RunBufferScaleSweep(stream []byte, scales []float64) ([]SweepPoint, error) {
+	base := DefaultDecodeBuffers()
+	var out []SweepPoint
+	for _, s := range scales {
+		bufs := DecodeBuffers{
+			Bits:  int(float64(base.Bits) * s),
+			Tok:   int(float64(base.Tok) * s),
+			Hdr:   int(float64(base.Hdr) * s),
+			Coef:  int(float64(base.Coef) * s),
+			Resid: int(float64(base.Resid) * s),
+			Pix:   int(float64(base.Pix) * s),
+		}
+		pt := SweepPoint{Label: fmt.Sprintf("%.2gx", s), Param: s, Extra: map[string]float64{}}
+		cycles, _, err := runDecodeWith(stream, nil, DecodeOptions{Buffers: &bufs})
+		if err != nil {
+			pt.Extra["failed"] = 1
+		} else {
+			pt.Cycles = cycles
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SchedResult reports a scheduler-experiment run on a dual-application
+// workload.
+type SchedResult struct {
+	Label       string
+	Cycles      uint64
+	Steps       uint64 // total processing steps across coprocessor tasks
+	DeniedSteps uint64 // steps aborted by denied GetSpace
+	Switches    uint64
+}
+
+// RunSchedulerExperiment decodes two streams simultaneously under the
+// given scheduler settings and reports aggregate scheduling behaviour.
+// Expected shape: the best-guess policy wastes far fewer processing steps
+// than naive round-robin ([13]); larger budgets reduce task switches.
+func RunSchedulerExperiment(streamA, streamB []byte, naive bool, budget uint64) (*SchedResult, error) {
+	arch := Fig8()
+	arch.Shell.NaiveScheduler = naive
+	sys := NewSystem(arch)
+	appA, err := sys.AddDecodeApp("a", streamA, DecodeOptions{Budget: budget})
+	if err != nil {
+		return nil, err
+	}
+	appB, err := sys.AddDecodeApp("b", streamB, DecodeOptions{Budget: budget})
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := sys.Run(50_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	if err := appA.VerifyAgainstReference(streamA); err != nil {
+		return nil, err
+	}
+	if err := appB.VerifyAgainstReference(streamB); err != nil {
+		return nil, err
+	}
+	res := &SchedResult{Label: fmt.Sprintf("naive=%v budget=%d", naive, budget), Cycles: cycles}
+	for _, app := range []string{"a", "b"} {
+		for _, task := range []string{"vld", "rlsq", "idct", "mc"} {
+			st, err := sys.TaskStats(app + "-" + task)
+			if err != nil {
+				return nil, err
+			}
+			res.Steps += st.Steps
+			res.DeniedSteps += st.DeniedSteps
+			res.Switches += st.Switches
+		}
+	}
+	return res, nil
+}
+
+// CouplingPoint is one (sync granularity, buffer size) outcome of the
+// coupling micro-experiment.
+type CouplingPoint struct {
+	Grain    int
+	BufBytes int
+	Cycles   uint64
+	Msgs     uint64
+	Deadlock bool
+}
+
+// RunCouplingExperiment quantifies Section 2.2: a producer/consumer pair
+// moving `total` bytes through one stream buffer, synchronizing every
+// `grain` bytes. Finer synchronization lets smaller buffers sustain
+// throughput (the paper's motivation for sub-picture synchronization);
+// granularity larger than the buffer deadlocks.
+func RunCouplingExperiment(total int, grains, bufSizes []int) ([]CouplingPoint, error) {
+	var out []CouplingPoint
+	for _, grain := range grains {
+		for _, buf := range bufSizes {
+			pt := CouplingPoint{Grain: grain, BufBytes: buf}
+			k := sim.NewKernel()
+			fab := shell.NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+			pSh := fab.NewShell(shell.DefaultConfig("p"))
+			cSh := fab.NewShell(shell.DefaultConfig("c"))
+			pT := pSh.AddTask("prod", 0, 0)
+			cT := cSh.AddTask("cons", 0, 0)
+			if err := fab.Connect(shell.Endpoint{Shell: pSh, Task: pT, Port: 0},
+				[]shell.Endpoint{{Shell: cSh, Task: cT, Port: 0}}, uint32(buf)); err != nil {
+				return nil, err
+			}
+			grain := grain
+			k.NewProc("prod", 0, func(p *sim.Proc) {
+				pSh.Bind(p)
+				data := make([]byte, grain)
+				sent := 0
+				for sent < total {
+					task, _, ok := pSh.GetTask()
+					if !ok {
+						return
+					}
+					if !pSh.GetSpace(task, 0, uint32(grain)) {
+						continue
+					}
+					pSh.Write(task, 0, 0, data)
+					pSh.PutSpace(task, 0, uint32(grain))
+					sent += grain
+				}
+				pSh.TaskDone(pT)
+				pSh.GetTask()
+			})
+			k.NewProc("cons", 0, func(p *sim.Proc) {
+				cSh.Bind(p)
+				buf := make([]byte, grain)
+				got := 0
+				for got < total {
+					task, _, ok := cSh.GetTask()
+					if !ok {
+						return
+					}
+					if !cSh.GetSpace(task, 0, uint32(grain)) {
+						continue
+					}
+					cSh.Read(task, 0, 0, buf)
+					cSh.PutSpace(task, 0, uint32(grain))
+					got += grain
+				}
+				cSh.TaskDone(cT)
+				cSh.GetTask()
+			})
+			err := k.Run(uint64(total) * 10000)
+			if err != nil {
+				pt.Deadlock = true
+			} else {
+				pt.Cycles = k.Now()
+				pt.Msgs = pSh.StreamStats(pT, 0).MsgsSent
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// RunMemoryOrganization compares the centralized and distributed stream-
+// memory organizations of the paper's Section 6 tradeoff on one decode
+// workload.
+func RunMemoryOrganization(stream []byte) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, distributed := range []bool{false, true} {
+		distributed := distributed
+		label := "central SRAM"
+		if distributed {
+			label = "distributed banks"
+		}
+		cycles, sys, err := runDecodeWith(stream, func(a *Arch) {
+			a.DistributedStreams = distributed
+		}, DecodeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		pt := SweepPoint{Label: label, Cycles: cycles, Extra: map[string]float64{}}
+		if !distributed {
+			pt.Extra["read_bus_util"] = sys.SRAM.ReadPort().Utilization()
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// OpsEstimate approximates the arithmetic operations a decoder performs
+// on a bitstream (the 16-bit-ops currency of the paper's "36 Gops"
+// figure): 2 ops per bitstream bit in the VLD, 20 per run/level token in
+// the RLSQ, 2176 per coded 8×8 block for inverse scan/quant/IDCT, and 3
+// per pixel for motion compensation and reconstruction.
+func OpsEstimate(stream []byte) (uint64, error) {
+	v := media.NewStreamVLD()
+	v.Extend(stream)
+	var ops uint64
+	var seq media.SeqHeader
+	for {
+		ev, err := v.Next()
+		if err != nil {
+			return 0, err
+		}
+		switch ev.Kind {
+		case media.EventSeq:
+			seq = ev.Seq
+		case media.EventMB:
+			ops += uint64(ev.Bits) * 2
+			ops += uint64(ev.Tok.TokenCount()) * 20
+			for b := 0; b < media.BlocksPerMB; b++ {
+				if ev.Tok.CBP&(1<<b) != 0 {
+					ops += 2176
+				}
+			}
+			ops += media.MBPixBytes * 3
+		case media.EventEnd:
+			_ = seq
+			return ops, nil
+		}
+	}
+}
+
+// ThroughputReport summarizes a decode run as the paper's Section 6
+// quantities: ops per cycle and the Gops figure this corresponds to at
+// the 150 MHz coprocessor clock.
+type ThroughputReport struct {
+	Cycles       uint64
+	Ops          uint64
+	OpsPerCycle  float64
+	GopsAt150MHz float64
+	BusReadUtil  float64
+	BusWriteUtil float64
+}
+
+// RunThroughput decodes the given streams simultaneously and reports the
+// aggregate throughput proxy.
+func RunThroughput(streams ...[]byte) (*ThroughputReport, error) {
+	sys := NewSystem(Fig8())
+	var apps []*DecodeApp
+	for i, st := range streams {
+		app, err := sys.AddDecodeApp(fmt.Sprintf("s%d", i), st, DecodeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, app)
+	}
+	cycles, err := sys.Run(50_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	var ops uint64
+	for i, app := range apps {
+		if err := app.VerifyAgainstReference(streams[i]); err != nil {
+			return nil, err
+		}
+		o, err := OpsEstimate(streams[i])
+		if err != nil {
+			return nil, err
+		}
+		ops += o
+	}
+	r := &ThroughputReport{
+		Cycles:       cycles,
+		Ops:          ops,
+		OpsPerCycle:  float64(ops) / float64(cycles),
+		BusReadUtil:  sys.SRAM.ReadPort().Utilization(),
+		BusWriteUtil: sys.SRAM.WritePort().Utilization(),
+	}
+	r.GopsAt150MHz = r.OpsPerCycle * 150e6 / 1e9
+	return r, nil
+}

@@ -1,0 +1,213 @@
+package eclipse
+
+import (
+	"testing"
+)
+
+// sweepStream returns a small shared test bitstream.
+func sweepStream(t *testing.T) []byte {
+	t.Helper()
+	stream, _ := encodeSequence(t, 64, 48, 6, nil)
+	return stream
+}
+
+func TestCacheSweepShape(t *testing.T) {
+	pts, err := RunCacheSweep(sweepStream(t), []int{1, 4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Bigger caches must never hurt much and must help overall.
+	if pts[3].Cycles >= pts[0].Cycles {
+		t.Errorf("64-line cache (%d) not faster than 1-line (%d)", pts[3].Cycles, pts[0].Cycles)
+	}
+	// Diminishing returns: the first growth step helps more than the last.
+	gain1 := float64(pts[0].Cycles) - float64(pts[1].Cycles)
+	gain3 := float64(pts[2].Cycles) - float64(pts[3].Cycles)
+	if gain3 > gain1 {
+		t.Errorf("no diminishing returns: first gain %.0f, last %.0f", gain1, gain3)
+	}
+	// Hit rate must grow with capacity.
+	if pts[3].Extra["rlsq_read_hit_rate"] <= pts[0].Extra["rlsq_read_hit_rate"] {
+		t.Errorf("hit rate did not improve: %v vs %v", pts[3].Extra, pts[0].Extra)
+	}
+}
+
+func TestPrefetchSweepShape(t *testing.T) {
+	pts, err := RunPrefetchSweep(sweepStream(t), []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Cycles >= pts[0].Cycles {
+		t.Errorf("prefetch depth 2 (%d) not faster than none (%d)", pts[1].Cycles, pts[0].Cycles)
+	}
+}
+
+func TestBusWidthSweepShape(t *testing.T) {
+	pts, err := RunBusWidthSweep(sweepStream(t), []int{4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrower buses must cost cycles; wide buses saturate.
+	if pts[0].Cycles <= pts[2].Cycles {
+		t.Errorf("32-bit bus (%d) not slower than 128-bit (%d)", pts[0].Cycles, pts[2].Cycles)
+	}
+	// Once the bus stops being the bottleneck the gain flattens: going
+	// 128→256 bit helps less than 32→64 bit.
+	gainNarrow := float64(pts[0].Cycles) - float64(pts[1].Cycles)
+	gainWide := float64(pts[2].Cycles) - float64(pts[3].Cycles)
+	if gainWide > gainNarrow {
+		t.Errorf("no saturation: narrow gain %.0f, wide gain %.0f", gainNarrow, gainWide)
+	}
+	// Bus utilization must fall with width.
+	if pts[0].Extra["read_bus_util"] <= pts[3].Extra["read_bus_util"] {
+		t.Errorf("read bus utilization did not fall with width: %v vs %v",
+			pts[0].Extra, pts[3].Extra)
+	}
+}
+
+func TestBusLatencySweepShape(t *testing.T) {
+	pts, err := RunBusLatencySweep(sweepStream(t), []uint64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[2].Cycles <= pts[0].Cycles {
+		t.Errorf("16-cycle latency (%d) not slower than 1 (%d)", pts[2].Cycles, pts[0].Cycles)
+	}
+}
+
+func TestBufferScaleSweepShape(t *testing.T) {
+	pts, err := RunBufferScaleSweep(sweepStream(t), []float64{0.05, 0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.05x cannot hold one token record: must fail.
+	if pts[0].Extra["failed"] != 1 {
+		t.Errorf("0.05x buffers unexpectedly worked")
+	}
+	// 0.5x through 2x must work; bigger buffers must not be slower.
+	for _, p := range pts[1:] {
+		if p.Extra["failed"] == 1 {
+			t.Errorf("%s failed", p.Label)
+		}
+	}
+	if pts[3].Cycles > pts[1].Cycles {
+		t.Errorf("2x buffers (%d) slower than 0.5x (%d)", pts[3].Cycles, pts[1].Cycles)
+	}
+}
+
+func TestSchedulerBestGuessBeatsNaive(t *testing.T) {
+	a, _ := encodeSequence(t, 64, 48, 5, nil)
+	b, _ := encodeSequence(t, 48, 32, 5, nil)
+	best, err := RunSchedulerExperiment(a, b, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RunSchedulerExperiment(a, b, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.DeniedSteps <= best.DeniedSteps {
+		t.Errorf("naive denied steps %d not above best-guess %d", naive.DeniedSteps, best.DeniedSteps)
+	}
+	// The best-guess policy must waste a small fraction of steps; naive
+	// wastes many.
+	bestWaste := float64(best.DeniedSteps) / float64(best.Steps)
+	naiveWaste := float64(naive.DeniedSteps) / float64(naive.Steps)
+	if naiveWaste < 2*bestWaste {
+		t.Errorf("waste: naive %.3f vs best %.3f", naiveWaste, bestWaste)
+	}
+	t.Logf("best-guess: %d cycles, %.1f%% wasted steps; naive: %d cycles, %.1f%% wasted steps",
+		best.Cycles, bestWaste*100, naive.Cycles, naiveWaste*100)
+}
+
+func TestSchedulerBudgetControlsSwitchRate(t *testing.T) {
+	a, _ := encodeSequence(t, 64, 48, 5, nil)
+	b, _ := encodeSequence(t, 48, 32, 5, nil)
+	small, err := RunSchedulerExperiment(a, b, false, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunSchedulerExperiment(a, b, false, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Switches >= small.Switches {
+		t.Errorf("budget 20000 switches %d not below budget 500 switches %d",
+			large.Switches, small.Switches)
+	}
+}
+
+func TestCouplingExperimentShape(t *testing.T) {
+	pts, err := RunCouplingExperiment(16384, []int{16, 64, 256}, []int{64, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int]CouplingPoint{}
+	for _, p := range pts {
+		byKey[[2]int{p.Grain, p.BufBytes}] = p
+	}
+	// Granularity larger than the buffer deadlocks.
+	if !byKey[[2]int{256, 64}].Deadlock {
+		t.Error("grain 256 through 64-byte buffer should deadlock")
+	}
+	// Fine granularity works through a small buffer.
+	if byKey[[2]int{16, 64}].Deadlock {
+		t.Error("grain 16 through 64-byte buffer deadlocked")
+	}
+	// Coarser sync sends fewer messages for the same data.
+	if f, c := byKey[[2]int{16, 1024}], byKey[[2]int{256, 1024}]; f.Msgs <= c.Msgs {
+		t.Errorf("msgs: fine %d, coarse %d", f.Msgs, c.Msgs)
+	}
+	// With a roomy buffer, coarser sync is at least as fast (less
+	// synchronization overhead).
+	if f, c := byKey[[2]int{16, 1024}], byKey[[2]int{256, 1024}]; c.Cycles > f.Cycles {
+		t.Errorf("coarse sync slower: %d vs %d", c.Cycles, f.Cycles)
+	}
+}
+
+func TestThroughputReport(t *testing.T) {
+	a, _ := encodeSequence(t, 64, 48, 5, nil)
+	b, _ := encodeSequence(t, 64, 48, 5, func(c *CodecConfig) { c.Q = 10 })
+	r, err := RunThroughput(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.OpsPerCycle <= 0 || r.GopsAt150MHz <= 0 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.BusReadUtil <= 0 || r.BusReadUtil > 1 {
+		t.Fatalf("bus utilization %v", r.BusReadUtil)
+	}
+}
+
+func TestOpsEstimate(t *testing.T) {
+	small, _ := encodeSequence(t, 32, 32, 2, nil)
+	big, _ := encodeSequence(t, 64, 64, 6, nil)
+	so, err := OpsEstimate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := OpsEstimate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo <= so {
+		t.Fatalf("ops: big %d <= small %d", bo, so)
+	}
+	if _, err := OpsEstimate([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMsgLatencySweepShape(t *testing.T) {
+	pts, err := RunMsgLatencySweep(sweepStream(t), []uint64{0, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[2].Cycles <= pts[0].Cycles {
+		t.Errorf("32-cycle messages (%d) not slower than instant (%d)", pts[2].Cycles, pts[0].Cycles)
+	}
+}
