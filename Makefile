@@ -1,0 +1,35 @@
+# Eclipse reproduction — build / verify / bench entry points.
+#
+#   make check   vet + build + full test suite + race-detector pass
+#   make test    full test suite only
+#   make race    race pass on the concurrency-sensitive packages: the
+#                sim kernel, the KPN engine, and the parallel sweep
+#                runners (guards that no *sim.Kernel is ever shared
+#                across sweep worker goroutines)
+#   make bench   paper-experiment benchmarks with allocation stats
+#   make perf    refresh the BENCH_kernel.json engine-speed trajectory
+
+GO ?= go
+
+.PHONY: check vet build test race bench perf
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/kpn
+	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+perf:
+	$(GO) run ./cmd/eclipse-bench kernel

@@ -3,12 +3,14 @@ package eclipse
 // Benchmark harness: one benchmark per paper experiment (see
 // EXPERIMENTS.md for the index). Each benchmark iteration performs one
 // full cycle-accurate simulation run; the interesting outputs are the
-// reported custom metrics (simulated cycles, utilization, rates), not the
-// wall-clock ns/op. Regenerate everything with:
+// reported custom metrics (simulated cycles, utilization, rates) plus the
+// engine-speed metrics (Mevents/s and allocs/op) tracked across PRs in
+// BENCH_kernel.json. Regenerate everything with:
 //
 //	go test -bench=. -benchmem ./...
 //
-// or the cmd/eclipse-bench tool for human-readable tables.
+// or the cmd/eclipse-bench tool for human-readable tables; `eclipse-bench
+// kernel` refreshes BENCH_kernel.json.
 
 import (
 	"sync"
@@ -27,6 +29,15 @@ var benchStreams struct {
 	// raw frames and config for encode benchmarks.
 	encCfg    media.CodecConfig
 	encFrames []*media.Frame
+}
+
+// reportMevents reports engine throughput: millions of kernel events
+// executed per wall-clock second across all iterations.
+func reportMevents(b *testing.B, events uint64) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s/1e6, "Mevents/s")
+	}
 }
 
 func benchSetup(b *testing.B) {
@@ -60,14 +71,18 @@ func benchSetup(b *testing.B) {
 // verdicts as 1/0 gauges.
 func BenchmarkFig10DecodeGOP(b *testing.B) {
 	benchSetup(b)
+	b.ReportAllocs()
 	var res *Fig10Result
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		var err error
 		res, err = RunFig10Stream(benchStreams.qcif)
 		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Events
 	}
+	reportMevents(b, events)
 	b.ReportMetric(float64(res.Cycles), "simcycles")
 	b.ReportMetric(float64(res.Cycles)/float64(res.Seq.Frames), "simcycles/frame")
 	verdict := func(t media.FrameType, want string) float64 {
@@ -86,8 +101,9 @@ func BenchmarkFig10DecodeGOP(b *testing.B) {
 // the task-switch rate the paper quotes at 10–100 kHz.
 func BenchmarkDualDecode(b *testing.B) {
 	benchSetup(b)
+	b.ReportAllocs()
 	var cycles uint64
-	var switches, steps uint64
+	var switches, steps, events uint64
 	for i := 0; i < b.N; i++ {
 		sys := NewSystem(Fig8())
 		appA, err := sys.AddDecodeApp("a", benchStreams.sdA, DecodeOptions{})
@@ -116,7 +132,9 @@ func BenchmarkDualDecode(b *testing.B) {
 				steps += st.Steps
 			}
 		}
+		events += sys.K.Events()
 	}
+	reportMevents(b, events)
 	b.ReportMetric(float64(cycles), "simcycles")
 	// Rates at the 150 MHz coprocessor clock.
 	sec := float64(cycles) / 150e6
@@ -129,7 +147,8 @@ func BenchmarkDualDecode(b *testing.B) {
 // MC/ME coprocessors each running tasks of both directions.
 func BenchmarkTranscode(b *testing.B) {
 	benchSetup(b)
-	var cycles uint64
+	b.ReportAllocs()
+	var cycles, events uint64
 	for i := 0; i < b.N; i++ {
 		sys := NewSystem(Fig8())
 		dec, err := sys.AddDecodeApp("d", benchStreams.sdA, DecodeOptions{})
@@ -150,7 +169,9 @@ func BenchmarkTranscode(b *testing.B) {
 		if err := enc.VerifyAgainstReference(benchStreams.encCfg, benchStreams.encFrames); err != nil {
 			b.Fatal(err)
 		}
+		events += sys.K.Events()
 	}
+	reportMevents(b, events)
 	b.ReportMetric(float64(cycles), "simcycles")
 }
 
@@ -362,7 +383,8 @@ func BenchmarkPipelinedDCT(b *testing.B) {
 // BenchmarkEncode measures the encode pipeline on the instance.
 func BenchmarkEncode(b *testing.B) {
 	benchSetup(b)
-	var cycles uint64
+	b.ReportAllocs()
+	var cycles, events uint64
 	for i := 0; i < b.N; i++ {
 		sys := NewSystem(Fig8())
 		app, err := sys.AddEncodeApp("enc", benchStreams.encCfg, benchStreams.encFrames, EncodeOptions{})
@@ -376,7 +398,9 @@ func BenchmarkEncode(b *testing.B) {
 		if err := app.VerifyAgainstReference(benchStreams.encCfg, benchStreams.encFrames); err != nil {
 			b.Fatal(err)
 		}
+		events += sys.K.Events()
 	}
+	reportMevents(b, events)
 	b.ReportMetric(float64(cycles), "simcycles")
 }
 

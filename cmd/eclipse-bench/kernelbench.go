@@ -1,0 +1,193 @@
+package main
+
+// Kernel performance trajectory: `eclipse-bench kernel [entry-id [path]]`
+// measures the simulation engine's wall-clock speed (not simulated
+// cycles) and records the result in BENCH_kernel.json so successive PRs
+// accumulate a machine-readable perf history.
+//
+// Two measurements are taken:
+//
+//   - decode: the Figure 10 QCIF IPBB workload (the same stream as
+//     BenchmarkFig10DecodeGOP), reporting wall ns per run, allocations
+//     per run, and executed kernel events per wall second;
+//   - kernel: a pure producer/consumer event stress on a bare
+//     sim.Kernel, isolating engine overhead from model work.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eclipse"
+	"eclipse/internal/sim"
+)
+
+// kernelBenchEntry is one measured point of the perf trajectory.
+type kernelBenchEntry struct {
+	ID   string `json:"id"`
+	Date string `json:"date"`
+	Note string `json:"note,omitempty"`
+
+	// Decode workload (Fig. 10 QCIF stream, one full simulation).
+	DecodeNsPerOp      float64 `json:"decode_ns_per_op"`
+	DecodeAllocsPerOp  float64 `json:"decode_allocs_per_op"`
+	DecodeBytesPerOp   float64 `json:"decode_bytes_per_op"`
+	DecodeSimCycles    uint64  `json:"decode_sim_cycles"`
+	DecodeEvents       uint64  `json:"decode_events,omitempty"`
+	DecodeMeventsPerS  float64 `json:"decode_mevents_per_sec,omitempty"`
+	KernelMeventsPerS  float64 `json:"kernel_mevents_per_sec,omitempty"`
+	KernelAllocsPerOp  float64 `json:"kernel_allocs_per_op,omitempty"`
+	KernelStressEvents uint64  `json:"kernel_stress_events,omitempty"`
+}
+
+// kernelBenchFile is the on-disk BENCH_kernel.json document.
+type kernelBenchFile struct {
+	Benchmark string             `json:"benchmark"`
+	Schema    string             `json:"schema"`
+	Updated   string             `json:"updated"`
+	Entries   []kernelBenchEntry `json:"entries"`
+}
+
+const kernelBenchPath = "BENCH_kernel.json"
+
+// kernelBench measures the engine and updates the trajectory file.
+func kernelBench() {
+	id := "head-" + time.Now().Format("2006-01-02")
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("Kernel engine speed (wall clock) -> " + path)
+
+	entry := kernelBenchEntry{ID: id, Date: time.Now().Format("2006-01-02")}
+	measureDecode(&entry)
+	measureKernelStress(&entry)
+
+	fmt.Printf("  decode:  %8.1f ms/run  %10.0f allocs/run  %6.2f Mevents/s  (%d simcycles, %d events)\n",
+		entry.DecodeNsPerOp/1e6, entry.DecodeAllocsPerOp, entry.DecodeMeventsPerS,
+		entry.DecodeSimCycles, entry.DecodeEvents)
+	fmt.Printf("  kernel:  %6.2f Mevents/s pure-event stress (%d events, %0.0f allocs/run)\n",
+		entry.KernelMeventsPerS, entry.KernelStressEvents, entry.KernelAllocsPerOp)
+
+	doc := loadKernelBench(path)
+	replaced := false
+	for i := range doc.Entries {
+		if doc.Entries[i].ID == entry.ID {
+			doc.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Entries = append(doc.Entries, entry)
+	}
+	doc.Updated = time.Now().UTC().Format(time.RFC3339)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", entry.ID, len(doc.Entries))
+}
+
+// loadKernelBench reads an existing trajectory file, or starts a new one.
+func loadKernelBench(path string) kernelBenchFile {
+	doc := kernelBenchFile{
+		Benchmark: "eclipse simulation-engine speed",
+		Schema:    "entries[]: {id, date, decode_* from the Fig10 QCIF workload, kernel_* from the pure-event stress}",
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "eclipse-bench: ignoring malformed %s: %v\n", path, err)
+	}
+	return doc
+}
+
+// measureDecode runs the Figure 10 QCIF decode workload (best of three)
+// and fills the decode_* fields.
+func measureDecode(e *kernelBenchEntry) {
+	stream := workload(176, 144, 12, 6, 1)
+	var ms0, ms1 runtime.MemStats
+	best := time.Duration(1<<63 - 1)
+	for round := 0; round < 3; round++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err := eclipse.RunFig10Stream(stream)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			fail(err)
+		}
+		if wall < best {
+			best = wall
+			e.DecodeNsPerOp = float64(wall.Nanoseconds())
+			e.DecodeAllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+			e.DecodeBytesPerOp = float64(ms1.TotalAlloc - ms0.TotalAlloc)
+			e.DecodeSimCycles = res.Cycles
+			e.DecodeEvents = res.Events
+			e.DecodeMeventsPerS = float64(res.Events) / wall.Seconds() / 1e6
+		}
+	}
+}
+
+// measureKernelStress runs a bare-kernel producer/consumer event mix
+// (short delays through the timing wheel, signal wakeups, occasional
+// far-future heap events) and fills the kernel_* fields.
+func measureKernelStress(e *kernelBenchEntry) {
+	run := func() (events uint64, allocs float64, wall time.Duration) {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		k := sim.NewKernel()
+		sig := k.NewSignal("data")
+		const rounds = 200_000
+		k.NewProc("producer", 0, func(p *sim.Proc) {
+			for j := 0; j < rounds; j++ {
+				p.Delay(uint64(1 + j%7))
+				sig.Fire()
+				if j%64 == 0 {
+					p.Delay(200)
+				}
+			}
+		})
+		for c := 0; c < 3; c++ {
+			k.NewProc("consumer", 0, func(p *sim.Proc) {
+				for j := 0; j < rounds; j++ {
+					p.Wait(sig)
+					p.Delay(uint64(1 + j%5))
+				}
+			})
+		}
+		if err := k.Run(0); err != nil {
+			if _, ok := err.(*sim.DeadlockError); !ok {
+				fail(err)
+			}
+		}
+		wall = time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return k.Events(), float64(ms1.Mallocs - ms0.Mallocs), wall
+	}
+	var bestRate float64
+	for round := 0; round < 3; round++ {
+		events, allocs, wall := run()
+		rate := float64(events) / wall.Seconds() / 1e6
+		if rate > bestRate {
+			bestRate = rate
+			e.KernelMeventsPerS = rate
+			e.KernelAllocsPerOp = allocs
+			e.KernelStressEvents = events
+		}
+	}
+}

@@ -14,7 +14,8 @@
 //	buffers     Section 2.2: decode buffer sizing sweep
 //	throughput  Section 6: ops/cycle proxy and bus utilization
 //	pipelined   Section 7 follow-up: pipelined DCT ablation
-//	all         everything above
+//	kernel      engine wall-clock speed; updates BENCH_kernel.json
+//	all         everything above except kernel (which writes a file)
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		"throughput": throughput,
 		"pipelined":  pipelined,
 		"memorg":     memorg,
+		"kernel":     kernelBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

@@ -47,6 +47,7 @@ type FrameWindow struct {
 type Fig10Result struct {
 	Seq       media.SeqHeader
 	Cycles    uint64
+	Events    uint64 // kernel events executed (engine-throughput metric)
 	Windows   []FrameWindow
 	Collector *trace.Collector
 	BufSizes  map[string]int // stage → input buffer size (for normalizing)
@@ -78,6 +79,7 @@ func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
 // RunFig10Stream runs the Figure 10 measurement on an existing bitstream.
 func RunFig10Stream(stream []byte) (*Fig10Result, error) {
 	sys := NewSystem(Fig8())
+	defer sys.Shutdown() // release parked procs if the cycle limit pauses the run
 	bufs := DefaultDecodeBuffers()
 	app, err := sys.AddDecodeApp("dec", stream, DecodeOptions{Probes: true, Buffers: &bufs})
 	if err != nil {
@@ -93,6 +95,7 @@ func RunFig10Stream(stream []byte) (*Fig10Result, error) {
 	res := &Fig10Result{
 		Seq:       app.Seq,
 		Cycles:    cycles,
+		Events:    sys.K.Events(),
 		Collector: sys.Collector,
 		BufSizes:  map[string]int{"rlsq": bufs.Tok, "dct": bufs.Coef, "mc": bufs.Resid},
 		Stream:    stream,

@@ -6,9 +6,9 @@
 // to one coprocessor clock cycle, 150 MHz in the paper's first instance).
 // Two kinds of activity exist:
 //
-//   - Events: plain callbacks scheduled at an absolute cycle. Events
-//     scheduled for the same cycle run in scheduling order, so simulation
-//     is fully deterministic.
+//   - Events: callbacks scheduled at an absolute cycle. Events scheduled
+//     for the same cycle run in scheduling order, so simulation is fully
+//     deterministic.
 //   - Processes: hardware threads of control (one per coprocessor, per
 //     prefetch engine, per memory port, ...). Each process runs on its own
 //     goroutine but the kernel resumes exactly one process at a time with a
@@ -16,50 +16,139 @@
 //     control flow (like the paper's coprocessor pseudo-code) without any
 //     data races or nondeterminism.
 //
-// The kernel is not safe for concurrent use from outside its processes.
+// # Event representation (hot path)
+//
+// Events are typed values, not closures: an event carries a kind tag
+// (evCallback, evDispatch, evLaunch) plus a *Proc target, so the dominant
+// operations — Proc.Delay, Signal.Fire, and process launch — schedule
+// events without allocating. Only Kernel.Schedule (arbitrary callbacks,
+// the cold path) carries a func() payload supplied by the caller.
+//
+// Pending events live in one of two structures:
+//
+//   - a timing wheel of wheelSize per-cycle buckets for near events
+//     (delay < wheelSize — bus latencies, message latencies, coprocessor
+//     cycle budgets all land here), giving O(1) insertion with no
+//     comparisons, and
+//   - a value-based binary min-heap (no interface{} boxing) ordered by
+//     (cycle, seq) for far-future events.
+//
+// The run loop merges the two sources by (cycle, seq), so the execution
+// order is bit-identical to a single global priority queue: same-cycle
+// events run in scheduling order regardless of which structure holds them.
+//
+// The kernel is not safe for concurrent use from outside its processes;
+// independent kernels on independent goroutines are fine (that is how the
+// parallel design-space sweeps run).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
-// Kernel is a discrete-event simulator instance. The zero value is not
-// usable; create kernels with NewKernel.
-type Kernel struct {
-	now     uint64
-	seq     uint64
-	events  eventHeap
-	procs   []*Proc
-	running *Proc // process currently executing, nil inside plain events
-	stopped bool
-	failure error
-}
+// wheelSize is the span of the short-delay timing wheel in cycles. It must
+// be a power of two. Delays in [0, wheelSize) take the O(1) bucket path;
+// longer delays fall back to the heap. All pending wheel events satisfy
+// at ∈ [now, now+wheelSize), so each bucket holds at most one distinct
+// cycle at any time.
+const wheelSize = 64
 
+// evKind tags a typed event with the action the kernel performs when the
+// event's cycle arrives.
+type evKind uint8
+
+const (
+	// evCallback runs an arbitrary func() (Kernel.Schedule).
+	evCallback evKind = iota
+	// evDispatch resumes a parked process (Proc.Delay, Signal.Fire).
+	evDispatch
+	// evLaunch starts a process body for the first time (Kernel.NewProc).
+	evLaunch
+)
+
+// event is a typed, value-stored simulation event. For evDispatch and
+// evLaunch only p is set; for evCallback only fn is set.
 type event struct {
-	at  uint64
-	seq uint64 // tie-breaker: schedule order
-	fn  func()
+	at   uint64
+	seq  uint64 // tie-breaker: schedule order
+	p    *Proc
+	fn   func()
+	kind evKind
 }
 
+// eventHeap is a value-based binary min-heap ordered by (at, seq). It
+// deliberately avoids container/heap, whose interface{}-typed Push/Pop
+// box every element and defeat the zero-alloc fast path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release *Proc / func() references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now      uint64
+	seq      uint64
+	executed uint64 // total events executed, for events/sec reporting
+
+	// wheel buckets hold near events (at - now < wheelSize) keyed by
+	// at % wheelSize; wheelLen counts events across all buckets so the
+	// run loop can skip the slot scan entirely when the wheel is empty.
+	wheel    [wheelSize][]event
+	wheelLen int
+	// events is the far-future fallback heap.
+	events eventHeap
+
+	procs   []*Proc
+	running *Proc // process currently executing, nil inside plain events
+	stopped bool
+	failure error
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -70,12 +159,34 @@ func NewKernel() *Kernel {
 // Now returns the current simulation cycle.
 func (k *Kernel) Now() uint64 { return k.now }
 
+// Events returns the total number of events the kernel has executed since
+// creation. Dividing by wall-clock time gives the engine's events/sec
+// throughput (the denominator of the Mevents/sec benchmark metric).
+func (k *Kernel) Events() uint64 { return k.executed }
+
+// Pending returns the number of scheduled events not yet executed.
+func (k *Kernel) Pending() int { return k.wheelLen + len(k.events) }
+
+// push enqueues a typed event at now+delay, choosing the wheel bucket for
+// near events and the heap otherwise. This is the single scheduling
+// chokepoint; it allocates only when a bucket or the heap must grow.
+func (k *Kernel) push(delay uint64, kind evKind, p *Proc, fn func()) {
+	k.seq++
+	e := event{at: k.now + delay, seq: k.seq, p: p, fn: fn, kind: kind}
+	if delay < wheelSize {
+		slot := e.at & (wheelSize - 1)
+		k.wheel[slot] = append(k.wheel[slot], e)
+		k.wheelLen++
+	} else {
+		k.events.push(e)
+	}
+}
+
 // Schedule registers fn to run at the current cycle plus delay.
 // A delay of 0 runs fn later within the current cycle, after all
 // previously scheduled work for this cycle.
 func (k *Kernel) Schedule(delay uint64, fn func()) {
-	k.seq++
-	heap.Push(&k.events, event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.push(delay, evCallback, nil, fn)
 }
 
 // Stop terminates the simulation after the current event completes.
@@ -89,7 +200,7 @@ func (k *Kernel) Fail(err error) {
 	k.stopped = true
 }
 
-// ErrDeadlock is returned by Run when processes remain blocked but no
+// DeadlockError is returned by Run when processes remain blocked but no
 // events are pending, i.e. the modeled system has deadlocked (for
 // example because a stream buffer is too small for the application's
 // communication pattern).
@@ -113,30 +224,129 @@ func (e *LimitError) Error() string {
 }
 
 // Run executes events until no work remains, Stop or Fail is called, or
-// the cycle counter exceeds limit (limit 0 means no limit). It returns
-// nil on a clean finish (all processes terminated or Stop called), a
-// *DeadlockError if blocked processes remain with no pending events, a
-// *LimitError on limit exhaustion, or the error passed to Fail.
+// the next pending event lies beyond limit (limit 0 means no limit). It
+// returns nil on a clean finish (all processes terminated or Stop
+// called), a *DeadlockError if blocked processes remain with no pending
+// events, a *LimitError on limit exhaustion, or the error passed to Fail.
+//
+// A *LimitError is a pause, not a termination: no pending event is
+// consumed or discarded, and process goroutines stay parked, so calling
+// Run again with a higher (or zero) limit resumes exactly where the
+// previous call stopped. A caller that abandons a kernel after a
+// LimitError should call Shutdown to release its goroutines. Every other
+// return value is terminal and shuts the kernel down automatically.
 func (k *Kernel) Run(limit uint64) error {
-	defer k.shutdown()
+	paused := false
+	defer func() {
+		// Terminal returns (and panics escaping an event callback) release
+		// the parked process goroutines; a LimitError pause keeps them.
+		if !paused {
+			k.Shutdown()
+		}
+	}()
 	for !k.stopped {
-		if len(k.events) == 0 {
+		at, ok := k.nextAt()
+		if !ok {
 			if blocked := k.blockedProcs(); len(blocked) > 0 {
 				return &DeadlockError{Cycle: k.now, Blocked: blocked}
 			}
 			return nil // all quiet: clean finish
 		}
-		e := heap.Pop(&k.events).(event)
-		if limit != 0 && e.at > limit {
+		if limit != 0 && at > limit {
+			// Peek-only: the event stays queued so a later Run resumes it.
+			paused = true
 			return &LimitError{Limit: limit}
 		}
-		if e.at < k.now {
-			panic("sim: event scheduled in the past")
-		}
-		k.now = e.at
-		e.fn()
+		k.now = at
+		k.runCycle(at)
 	}
 	return k.failure
+}
+
+// nextAt reports the cycle of the earliest pending event across the wheel
+// and the heap. The wheel scan starts at the current cycle and walks at
+// most wheelSize buckets; since all wheel events lie in [now,
+// now+wheelSize), the first non-empty bucket it meets is the earliest.
+func (k *Kernel) nextAt() (uint64, bool) {
+	at := uint64(0)
+	ok := false
+	if k.wheelLen > 0 {
+		for d := uint64(0); d < wheelSize; d++ {
+			t := k.now + d
+			if len(k.wheel[t&(wheelSize-1)]) > 0 {
+				at, ok = t, true
+				break
+			}
+		}
+	}
+	if len(k.events) > 0 {
+		if h := k.events[0].at; !ok || h < at {
+			at, ok = h, true
+		}
+	}
+	return at, ok
+}
+
+// runCycle executes every event whose cycle equals at, merging the wheel
+// bucket for this cycle with same-cycle heap events in seq order. Events
+// scheduled during execution with delay 0 append to the same bucket
+// (with higher seq) and are picked up by the re-read of the slice, so
+// same-cycle FIFO semantics hold across nested scheduling.
+func (k *Kernel) runCycle(at uint64) {
+	slot := at & (wheelSize - 1)
+	i := 0
+	for !k.stopped {
+		var e event
+		bucket := k.wheel[slot] // re-read: may have grown or moved
+		hasW := i < len(bucket)
+		hasH := len(k.events) > 0 && k.events[0].at == at
+		switch {
+		case hasW && hasH:
+			if bucket[i].seq < k.events[0].seq {
+				e = bucket[i]
+				i++
+				k.wheelLen--
+			} else {
+				e = k.events.pop()
+			}
+		case hasW:
+			e = bucket[i]
+			i++
+			k.wheelLen--
+		case hasH:
+			e = k.events.pop()
+		default:
+			// Cycle drained: reset the bucket, keeping its capacity for
+			// the steady-state zero-alloc path.
+			clearEvents(bucket)
+			k.wheel[slot] = bucket[:0]
+			return
+		}
+		k.executed++
+		switch e.kind {
+		case evDispatch:
+			e.p.dispatch()
+		case evLaunch:
+			e.p.launch()
+		default:
+			e.fn()
+		}
+	}
+	// Stopped mid-cycle: drop the consumed prefix so Pending stays honest.
+	if i > 0 {
+		bucket := k.wheel[slot]
+		n := copy(bucket, bucket[i:])
+		clearEvents(bucket[n:])
+		k.wheel[slot] = bucket[:n]
+	}
+}
+
+// clearEvents zeroes event values so consumed buckets do not pin process
+// or closure references until the bucket's capacity is reused.
+func clearEvents(s []event) {
+	for j := range s {
+		s[j] = event{}
+	}
 }
 
 // blockedProcs reports the names of live processes that are waiting on a
@@ -145,17 +355,19 @@ func (k *Kernel) blockedProcs() []string {
 	var out []string
 	for _, p := range k.procs {
 		if !p.done && p.started {
-			out = append(out, p.name+" ["+p.waitState+"]")
+			out = append(out, p.name+" ["+p.waitDesc()+"]")
 		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// shutdown unblocks any still-parked process goroutines so they can
+// Shutdown unblocks any still-parked process goroutines so they can
 // terminate, preventing goroutine leaks across repeated simulations in
-// one Go process (e.g. during tests and benchmarks).
-func (k *Kernel) shutdown() {
+// one Go process (e.g. during tests and benchmarks). Run calls it on
+// every terminal return; callers only need it when abandoning a kernel
+// after a *LimitError pause. Shutdown is idempotent.
+func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
 		if !p.done && p.started {
 			p.kill = true

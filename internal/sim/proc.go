@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Proc is a simulated hardware process: an independent thread of control
 // such as a coprocessor, a prefetch engine, or a memory port server.
@@ -10,15 +13,43 @@ import "fmt"
 // freely touch shared model state without locking. Time only advances when
 // the body calls Delay or Wait.
 type Proc struct {
-	name      string
-	k         *Kernel
-	resume    chan struct{}
-	yield     chan struct{}
-	body      func(*Proc)
-	started   bool
-	done      bool
-	kill      bool
-	waitState string // description of what the proc is blocked on
+	name    string
+	k       *Kernel
+	resume  chan struct{}
+	yield   chan struct{}
+	body    func(*Proc)
+	started bool
+	done    bool
+	kill    bool
+
+	// Wait-state bookkeeping for deadlock reports. Stored as tag + args
+	// rather than a formatted string so parking never allocates (Delay is
+	// the hottest operation in the simulator).
+	waitKind   waitKind
+	waitCycles uint64  // valid when waitKind == waitDelay
+	waitSig    *Signal // valid when waitKind == waitSignal
+}
+
+// waitKind tags what a parked process is blocked on.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitDelay
+	waitSignal
+)
+
+// waitDesc formats the wait state for deadlock reports. Only called on
+// the cold error path.
+func (p *Proc) waitDesc() string {
+	switch p.waitKind {
+	case waitDelay:
+		return "delay " + strconv.FormatUint(p.waitCycles, 10)
+	case waitSignal:
+		return "wait " + p.waitSig.name
+	default:
+		return ""
+	}
 }
 
 // killProc is the panic value used to unwind a process goroutine when the
@@ -36,7 +67,7 @@ func (k *Kernel) NewProc(name string, start uint64, body func(*Proc)) *Proc {
 		body:   body,
 	}
 	k.procs = append(k.procs, p)
-	k.Schedule(start, func() { p.launch() })
+	k.push(start, evLaunch, p, nil)
 	return p
 }
 
@@ -79,15 +110,16 @@ func (p *Proc) dispatch() {
 	p.k.running = prev
 }
 
-// park yields control back to the kernel and blocks until dispatched again.
-func (p *Proc) park(state string) {
-	p.waitState = state
+// park yields control back to the kernel and blocks until dispatched
+// again. The caller has already recorded the wait state.
+func (p *Proc) park() {
 	p.yield <- struct{}{}
 	<-p.resume
 	if p.kill {
 		panic(killProc{})
 	}
-	p.waitState = ""
+	p.waitKind = waitNone
+	p.waitSig = nil
 }
 
 // Name returns the process name.
@@ -102,12 +134,15 @@ func (p *Proc) Now() uint64 { return p.k.now }
 // Delay advances simulated time by the given number of cycles, modelling
 // the process being busy (or idle) for that long. Delay(0) re-schedules
 // the process at the current cycle behind already-pending work.
+// Delay allocates nothing: it enqueues a typed evDispatch event.
 func (p *Proc) Delay(cycles uint64) {
 	if p.k.running != p {
 		panic("sim: Delay called from outside the process")
 	}
-	p.k.Schedule(cycles, func() { p.dispatch() })
-	p.park(fmt.Sprintf("delay %d", cycles))
+	p.k.push(cycles, evDispatch, p, nil)
+	p.waitKind = waitDelay
+	p.waitCycles = cycles
+	p.park()
 }
 
 // Wait blocks the process until the signal fires. If the signal fires
@@ -117,7 +152,9 @@ func (p *Proc) Wait(s *Signal) {
 		panic("sim: Wait called from outside the process")
 	}
 	s.waiters = append(s.waiters, p)
-	p.park("wait " + s.name)
+	p.waitKind = waitSignal
+	p.waitSig = s
+	p.park()
 }
 
 // Signal is a broadcast wakeup primitive. Processes block on it with
@@ -135,15 +172,18 @@ func (k *Kernel) NewSignal(name string) *Signal {
 }
 
 // Fire wakes every process currently waiting on the signal. The waiters
-// resume within the current cycle, after all previously scheduled work.
+// resume within the current cycle, after all previously scheduled work,
+// in the order they registered (deterministic across runs). Fire
+// allocates nothing: each wakeup is a typed evDispatch event, and the
+// waiter slice's capacity is retained for reuse.
 func (s *Signal) Fire() {
-	if len(s.waiters) == 0 {
-		return
+	for _, p := range s.waiters {
+		s.k.push(0, evDispatch, p, nil)
 	}
-	woken := s.waiters
-	s.waiters = nil
-	for _, p := range woken {
-		p := p
-		s.k.Schedule(0, func() { p.dispatch() })
+	// Truncate but keep capacity; also drop *Proc references so finished
+	// processes are not pinned by the backing array.
+	for i := range s.waiters {
+		s.waiters[i] = nil
 	}
+	s.waiters = s.waiters[:0]
 }

@@ -318,3 +318,295 @@ func TestWaitOutsideProcPanics(t *testing.T) {
 	}()
 	p.Wait(sig)
 }
+
+func TestRunResumesAfterLimit(t *testing.T) {
+	// A LimitError is a pause: no event may be lost, and a later Run call
+	// must continue exactly where the previous one stopped. (Regression:
+	// the kernel used to pop-and-discard the first over-limit event.)
+	k := NewKernel()
+	var at []uint64
+	k.NewProc("p", 0, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Delay(100)
+			at = append(at, p.Now())
+		}
+	})
+	err := k.Run(250)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("first Run: err = %v, want LimitError", err)
+	}
+	if want := []uint64{100, 200}; len(at) != len(want) {
+		t.Fatalf("progress before limit = %v, want %v", at, want)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	want := []uint64{100, 200, 300, 400, 500}
+	if len(at) != len(want) {
+		t.Fatalf("at = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("at = %v, want %v", at, want)
+		}
+	}
+	if k.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", k.Now())
+	}
+}
+
+func TestRunLimitDoesNotDiscardPlainEvents(t *testing.T) {
+	// Same regression for plain callbacks, including a far-future (heap
+	// path) event that straddles the limit.
+	k := NewKernel()
+	var got []int
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(300, func() { got = append(got, 2) }) // beyond wheel span and limit
+	err := k.Run(100)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LimitError", err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got = %v, want [1]", got)
+	}
+	if n := k.Pending(); n != 1 {
+		t.Fatalf("Pending = %d, want 1", n)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("got = %v, want [1 2]", got)
+	}
+	if k.Now() != 300 {
+		t.Fatalf("Now = %d, want 300", k.Now())
+	}
+}
+
+func TestRunLimitRepeatedResume(t *testing.T) {
+	// Stepping a simulation through many small limit windows must visit
+	// exactly the same states as one unbounded run.
+	run := func(step uint64) string {
+		k := NewKernel()
+		var sb strings.Builder
+		for i := 0; i < 10; i++ {
+			i := i
+			k.Schedule(uint64(i)*37, func() { fmt.Fprintf(&sb, "%d@%d;", i, k.Now()) })
+		}
+		var err error
+		if step == 0 {
+			err = k.Run(0)
+		} else {
+			for limit := step; ; limit += step {
+				err = k.Run(limit)
+				var le *LimitError
+				if !errors.As(err, &le) {
+					break
+				}
+			}
+		}
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sb.String()
+	}
+	want := run(0)
+	for _, step := range []uint64{1, 7, 50, 1000} {
+		if got := run(step); got != want {
+			t.Fatalf("step %d: trace %q, want %q", step, got, want)
+		}
+	}
+}
+
+func TestShutdownAfterAbandonedLimit(t *testing.T) {
+	// A caller that gives up on a paused kernel releases its goroutines
+	// with Shutdown; Shutdown must be idempotent.
+	k := NewKernel()
+	k.NewProc("spin", 0, func(p *Proc) {
+		for {
+			p.Delay(10)
+		}
+	})
+	var le *LimitError
+	if err := k.Run(100); !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LimitError", err)
+	}
+	k.Shutdown()
+	k.Shutdown()
+}
+
+func TestSignalWakeupOrderIsRegistrationOrder(t *testing.T) {
+	// Multiple waiters on one signal must resume in the order they called
+	// Wait, identically on every run.
+	run := func() string {
+		k := NewKernel()
+		sig := k.NewSignal("go")
+		var order []string
+		// Stagger registration: procs register in a deterministic order
+		// fixed by their start cycles and creation order.
+		names := []string{"a", "b", "c", "d", "e"}
+		for i, n := range names {
+			n := n
+			k.NewProc(n, uint64(i%2), func(p *Proc) {
+				p.Wait(sig)
+				order = append(order, fmt.Sprintf("%s@%d", n, p.Now()))
+			})
+		}
+		k.Schedule(5, func() { sig.Fire() })
+		if err := k.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return strings.Join(order, " ")
+	}
+	// Registration order: start-cycle 0 procs (a, c, e) register at cycle
+	// 0 in creation order, then start-cycle 1 procs (b, d) at cycle 1.
+	want := "a@5 c@5 e@5 b@5 d@5"
+	for i := 0; i < 5; i++ {
+		if got := run(); got != want {
+			t.Fatalf("run %d: wakeup order %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestSignalReuseAfterFire(t *testing.T) {
+	// The waiter slice is reused across fires; re-waiting after a wakeup
+	// must work and preserve order.
+	k := NewKernel()
+	sig := k.NewSignal("tick")
+	var got []string
+	for _, n := range []string{"x", "y"} {
+		n := n
+		k.NewProc(n, 0, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Wait(sig)
+				got = append(got, fmt.Sprintf("%s%d@%d", n, i, p.Now()))
+			}
+		})
+	}
+	k.NewProc("firer", 0, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Delay(10)
+			sig.Fire()
+		}
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "x0@10 y0@10 x1@20 y1@20 x2@30 y2@30"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("got %q, want %q", s, want)
+	}
+}
+
+func TestWheelHeapMergeOrdering(t *testing.T) {
+	// A far-future event (heap path) and a later-scheduled near event
+	// (wheel path) landing on the same cycle must run in schedule order:
+	// the heap event was scheduled first, so it runs first.
+	k := NewKernel()
+	var got []string
+	k.Schedule(100, func() { got = append(got, "heap-first") }) // seq 1, heap
+	k.Schedule(99, func() {                                     // seq 2
+		k.Schedule(1, func() { got = append(got, "wheel-second") }) // seq 3, wheel, same cycle 100
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s := strings.Join(got, ","); s != "heap-first,wheel-second" {
+		t.Fatalf("order = %q, want heap-first,wheel-second", s)
+	}
+}
+
+func TestWheelBoundaryDelays(t *testing.T) {
+	// Delays straddling the wheel span (wheelSize-1, wheelSize,
+	// wheelSize+1, and multiples) must all execute in global time order.
+	k := NewKernel()
+	var got []uint64
+	delays := []uint64{wheelSize - 1, wheelSize, wheelSize + 1, 0, 1,
+		2 * wheelSize, 2*wheelSize - 1, 3 * wheelSize, 7, 63, 64, 65, 127, 128, 129}
+	for _, d := range delays {
+		d := d
+		k.Schedule(d, func() { got = append(got, k.Now()) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != len(delays) {
+		t.Fatalf("executed %d of %d events", len(got), len(delays))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("time went backwards: %v", got)
+		}
+	}
+	if k.Now() != 3*wheelSize {
+		t.Fatalf("Now = %d, want %d", k.Now(), 3*wheelSize)
+	}
+}
+
+func TestGlobalEventOrderProperty(t *testing.T) {
+	// Property: for an arbitrary nested scheduling program, events execute
+	// in (cycle, scheduling-sequence) order — the exact contract a single
+	// global priority queue would give, regardless of how events are split
+	// between the timing wheel and the fallback heap.
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		type rec struct{ at, idx uint64 }
+		var sched, exec []rec
+		var idx uint64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 5 || idx > 500 {
+				return
+			}
+			for i := 0; i < rng.Intn(5); i++ {
+				// Mix near (wheel) and far (heap) delays.
+				var d uint64
+				if rng.Intn(2) == 0 {
+					d = uint64(rng.Intn(wheelSize))
+				} else {
+					d = uint64(rng.Intn(1000))
+				}
+				id := idx
+				idx++
+				at := k.Now() + d
+				sched = append(sched, rec{at, id})
+				k.Schedule(d, func() {
+					exec = append(exec, rec{k.Now(), id})
+					spawn(depth + 1)
+				})
+			}
+		}
+		spawn(0)
+		if err := k.Run(0); err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if len(exec) != len(sched) {
+			t.Fatalf("seed %d: executed %d of %d", seed, len(exec), len(sched))
+		}
+		for i := 1; i < len(exec); i++ {
+			a, b := exec[i-1], exec[i]
+			if a.at > b.at || (a.at == b.at && a.idx > b.idx) {
+				t.Fatalf("seed %d: out of order at %d: %v then %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 10; i++ {
+		k.Schedule(uint64(i), func() {})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if k.Events() != 10 {
+		t.Fatalf("Events = %d, want 10", k.Events())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", k.Pending())
+	}
+}

@@ -1,0 +1,178 @@
+package eclipse
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrderPreserving(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := ParallelMap(items, 8, func(i, v int) (int, error) {
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMapEmptyAndSingle(t *testing.T) {
+	if got, err := ParallelMap(nil, 4, func(i, v int) (int, error) { return v, nil }); err != nil || got != nil {
+		t.Fatalf("empty: got %v, err %v", got, err)
+	}
+	got, err := ParallelMap([]int{7}, 4, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 8 {
+		t.Fatalf("single: got %v, err %v", got, err)
+	}
+}
+
+func TestParallelMapFirstErrorWins(t *testing.T) {
+	// Multiple failing points: the surfaced error must be the one from the
+	// lowest failing index, on every run and for every worker count.
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	fail := map[int]bool{13: true, 17: true, 31: true}
+	for _, workers := range []int{1, 2, runtime.NumCPU(), 64} {
+		for round := 0; round < 5; round++ {
+			_, err := ParallelMap(items, workers, func(i, v int) (int, error) {
+				if fail[v] {
+					return 0, fmt.Errorf("point %d failed", v)
+				}
+				return v, nil
+			})
+			if err == nil || err.Error() != "point 13 failed" {
+				t.Fatalf("workers=%d round=%d: err = %v, want point 13", workers, round, err)
+			}
+		}
+	}
+}
+
+func TestParallelMapErrorCancelsRemainingWork(t *testing.T) {
+	// With one worker the dispatch order is the item order, so a failure at
+	// index 2 must prevent every later point from running at all.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := ParallelMap(make([]struct{}, 100), 1, func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("ran %d points, want 3 (0, 1, and the failing 2)", n)
+	}
+}
+
+func TestParallelMapConcurrentCancellation(t *testing.T) {
+	// Concurrently, cancellation is best-effort but must still prune: with
+	// an immediate failure at index 0 and many slow points, far fewer than
+	// all points should execute.
+	var ran atomic.Int64
+	boom := errors.New("early")
+	n := 1000
+	_, err := ParallelMap(make([]struct{}, n), 4, func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want early", err)
+	}
+	if got := ran.Load(); got == int64(n) {
+		t.Fatalf("cancellation had no effect: all %d points ran", n)
+	}
+}
+
+// withWorkers runs fn under a forced SweepWorkers setting.
+func withWorkers(w int, fn func()) {
+	old := SweepWorkers
+	SweepWorkers = w
+	defer func() { SweepWorkers = old }()
+	fn()
+}
+
+func TestParallelSweepParity(t *testing.T) {
+	// The parallel engine must produce byte-identical sweep results to a
+	// sequential run: same cycle counts, same Extra metrics, same order.
+	stream := sweepStream(t)
+	type sweep struct {
+		name string
+		run  func() (interface{}, error)
+	}
+	sweeps := []sweep{
+		{"cache", func() (interface{}, error) { return RunCacheSweep(stream, []int{1, 8, 32}) }},
+		{"prefetch", func() (interface{}, error) { return RunPrefetchSweep(stream, []int{0, 2, 4}) }},
+		{"buswidth", func() (interface{}, error) { return RunBusWidthSweep(stream, []int{4, 16}) }},
+		{"buslatency", func() (interface{}, error) { return RunBusLatencySweep(stream, []uint64{1, 8}) }},
+		{"msglatency", func() (interface{}, error) { return RunMsgLatencySweep(stream, []uint64{0, 16}) }},
+		{"bufscale", func() (interface{}, error) { return RunBufferScaleSweep(stream, []float64{0.05, 1, 2}) }},
+		{"coupling", func() (interface{}, error) { return RunCouplingExperiment(4096, []int{16, 256}, []int{64, 1024}) }},
+		{"memorg", func() (interface{}, error) { return RunMemoryOrganization(stream) }},
+	}
+	for _, sw := range sweeps {
+		sw := sw
+		t.Run(sw.name, func(t *testing.T) {
+			var seq, par interface{}
+			var seqErr, parErr error
+			withWorkers(1, func() { seq, seqErr = sw.run() })
+			// Fixed pool of 4 so goroutine interleaving is exercised even
+			// on single-core machines.
+			withWorkers(4, func() { par, parErr = sw.run() })
+			if seqErr != nil || parErr != nil {
+				t.Fatalf("seq err %v, par err %v", seqErr, parErr)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("parallel results differ from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+func TestParallelSweepErrorPropagation(t *testing.T) {
+	// A failing configuration point must cancel the sweep and surface its
+	// error through the parallel engine. An unparseable stream makes every
+	// point fail; the reported error must be the first point's.
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef}
+	for _, workers := range []int{1, 4} {
+		withWorkers(workers, func() {
+			pts, err := RunCacheSweep(garbage, []int{1, 4, 16})
+			if err == nil {
+				t.Fatalf("workers=%d: sweep on garbage stream succeeded: %+v", workers, pts)
+			}
+			if want := "cache 1 lines"; !contains(err.Error(), want) {
+				t.Fatalf("workers=%d: err %q does not name the first point (%q)", workers, err, want)
+			}
+			if pts != nil {
+				t.Fatalf("workers=%d: partial results returned alongside error", workers)
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -13,6 +13,11 @@ import (
 // caching strategies in the shell (e.g. varying cache size, cache
 // prefetching or not), bus latency and width, etc."), plus the scheduler
 // and coupling studies of Sections 5.3 and 2.2.
+//
+// All runners execute their configuration points concurrently through the
+// ParallelMap worker pool (see parallel.go): each point simulates on its
+// own private *sim.Kernel, results come back in parameter order, and the
+// first failing point's error is surfaced deterministically.
 
 // SweepPoint is one configuration's outcome in a parameter sweep.
 type SweepPoint struct {
@@ -30,6 +35,7 @@ func runDecodeWith(stream []byte, mutate func(*Arch), opt DecodeOptions) (uint64
 		mutate(&arch)
 	}
 	sys := NewSystem(arch)
+	defer sys.Shutdown() // release parked procs if the cycle limit pauses the run
 	app, err := sys.AddDecodeApp("dec", stream, opt)
 	if err != nil {
 		return 0, nil, err
@@ -48,104 +54,89 @@ func runDecodeWith(stream []byte, mutate func(*Arch), opt DecodeOptions) (uint64
 // (read and write caches, lines of the bus width). Expected shape:
 // diminishing returns with size (paper Section 7).
 func RunCacheSweep(stream []byte, lines []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, n := range lines {
-		n := n
+	return runSweep(lines, func(n int) (SweepPoint, error) {
 		cycles, sys, err := runDecodeWith(stream, func(a *Arch) {
 			a.Shell.ReadCacheLines = n
 			a.Shell.WriteCacheLines = n
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("cache %d lines: %w", n, err)
+			return SweepPoint{}, fmt.Errorf("cache %d lines: %w", n, err)
 		}
 		st := sys.Shell("rlsq").ReadCacheStats()
 		hitRate := 0.0
 		if st.Hits+st.Misses > 0 {
 			hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Label: fmt.Sprintf("%d lines (%d B)", n, n*16), Param: float64(n),
 			Cycles: cycles, Extra: map[string]float64{"rlsq_read_hit_rate": hitRate},
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RunPrefetchSweep measures decode time against shell prefetch depth
 // (0 disables prefetching, the paper's "cache prefetching or not").
 func RunPrefetchSweep(stream []byte, depths []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, d := range depths {
-		d := d
+	return runSweep(depths, func(d int) (SweepPoint, error) {
 		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
 			a.Shell.PrefetchDepth = d
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("prefetch %d: %w", d, err)
+			return SweepPoint{}, fmt.Errorf("prefetch %d: %w", d, err)
 		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("depth %d", d), Param: float64(d), Cycles: cycles})
-	}
-	return out, nil
+		return SweepPoint{Label: fmt.Sprintf("depth %d", d), Param: float64(d), Cycles: cycles}, nil
+	})
 }
 
 // RunBusWidthSweep measures decode time against the stream-memory data
 // path width (the paper's 128-bit choice among alternatives).
 func RunBusWidthSweep(stream []byte, widths []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, w := range widths {
-		w := w
+	return runSweep(widths, func(w int) (SweepPoint, error) {
 		cycles, sys, err := runDecodeWith(stream, func(a *Arch) {
 			a.SRAM.Width = w
 			a.Shell.LineBytes = w
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("width %d: %w", w, err)
+			return SweepPoint{}, fmt.Errorf("width %d: %w", w, err)
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Label: fmt.Sprintf("%d bit", w*8), Param: float64(w), Cycles: cycles,
 			Extra: map[string]float64{
 				"read_bus_util":  sys.SRAM.ReadPort().Utilization(),
 				"write_bus_util": sys.SRAM.WritePort().Utilization(),
 			},
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RunBusLatencySweep measures decode time against stream-memory access
 // latency.
 func RunBusLatencySweep(stream []byte, latencies []uint64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, l := range latencies {
-		l := l
+	return runSweep(latencies, func(l uint64) (SweepPoint, error) {
 		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
 			a.SRAM.ReadLatency = l
 			a.SRAM.WriteLatency = l
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("latency %d: %w", l, err)
+			return SweepPoint{}, fmt.Errorf("latency %d: %w", l, err)
 		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles})
-	}
-	return out, nil
+		return SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles}, nil
+	})
 }
 
 // RunMsgLatencySweep measures decode time against the putspace-message
 // network latency — the cost of the distributed synchronization fabric
 // (Section 5.1's Figure 7 messages).
 func RunMsgLatencySweep(stream []byte, latencies []uint64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, l := range latencies {
-		l := l
+	return runSweep(latencies, func(l uint64) (SweepPoint, error) {
 		cycles, _, err := runDecodeWith(stream, func(a *Arch) {
 			a.Shell.MsgLatency = l
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("msg latency %d: %w", l, err)
+			return SweepPoint{}, fmt.Errorf("msg latency %d: %w", l, err)
 		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles})
-	}
-	return out, nil
+		return SweepPoint{Label: fmt.Sprintf("%d cycles", l), Param: float64(l), Cycles: cycles}, nil
+	})
 }
 
 // RunBufferScaleSweep measures decode time against stream buffer sizing
@@ -155,8 +146,7 @@ func RunMsgLatencySweep(stream []byte, latencies []uint64) ([]SweepPoint, error)
 // metric "failed" = 1.
 func RunBufferScaleSweep(stream []byte, scales []float64) ([]SweepPoint, error) {
 	base := DefaultDecodeBuffers()
-	var out []SweepPoint
-	for _, s := range scales {
+	return runSweep(scales, func(s float64) (SweepPoint, error) {
 		bufs := DecodeBuffers{
 			Bits:  int(float64(base.Bits) * s),
 			Tok:   int(float64(base.Tok) * s),
@@ -172,9 +162,8 @@ func RunBufferScaleSweep(stream []byte, scales []float64) ([]SweepPoint, error) 
 		} else {
 			pt.Cycles = cycles
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // SchedResult reports a scheduler-experiment run on a dual-application
@@ -195,6 +184,7 @@ func RunSchedulerExperiment(streamA, streamB []byte, naive bool, budget uint64) 
 	arch := Fig8()
 	arch.Shell.NaiveScheduler = naive
 	sys := NewSystem(arch)
+	defer sys.Shutdown()
 	appA, err := sys.AddDecodeApp("a", streamA, DecodeOptions{Budget: budget})
 	if err != nil {
 		return nil, err
@@ -244,79 +234,83 @@ type CouplingPoint struct {
 // throughput (the paper's motivation for sub-picture synchronization);
 // granularity larger than the buffer deadlocks.
 func RunCouplingExperiment(total int, grains, bufSizes []int) ([]CouplingPoint, error) {
-	var out []CouplingPoint
+	type config struct{ grain, buf int }
+	configs := make([]config, 0, len(grains)*len(bufSizes))
 	for _, grain := range grains {
 		for _, buf := range bufSizes {
-			pt := CouplingPoint{Grain: grain, BufBytes: buf}
-			k := sim.NewKernel()
-			fab := shell.NewFabric(k, mem.New(k, mem.Fig8SRAM()))
-			pSh := fab.NewShell(shell.DefaultConfig("p"))
-			cSh := fab.NewShell(shell.DefaultConfig("c"))
-			pT := pSh.AddTask("prod", 0, 0)
-			cT := cSh.AddTask("cons", 0, 0)
-			if err := fab.Connect(shell.Endpoint{Shell: pSh, Task: pT, Port: 0},
-				[]shell.Endpoint{{Shell: cSh, Task: cT, Port: 0}}, uint32(buf)); err != nil {
-				return nil, err
-			}
-			grain := grain
-			k.NewProc("prod", 0, func(p *sim.Proc) {
-				pSh.Bind(p)
-				data := make([]byte, grain)
-				sent := 0
-				for sent < total {
-					task, _, ok := pSh.GetTask()
-					if !ok {
-						return
-					}
-					if !pSh.GetSpace(task, 0, uint32(grain)) {
-						continue
-					}
-					pSh.Write(task, 0, 0, data)
-					pSh.PutSpace(task, 0, uint32(grain))
-					sent += grain
-				}
-				pSh.TaskDone(pT)
-				pSh.GetTask()
-			})
-			k.NewProc("cons", 0, func(p *sim.Proc) {
-				cSh.Bind(p)
-				buf := make([]byte, grain)
-				got := 0
-				for got < total {
-					task, _, ok := cSh.GetTask()
-					if !ok {
-						return
-					}
-					if !cSh.GetSpace(task, 0, uint32(grain)) {
-						continue
-					}
-					cSh.Read(task, 0, 0, buf)
-					cSh.PutSpace(task, 0, uint32(grain))
-					got += grain
-				}
-				cSh.TaskDone(cT)
-				cSh.GetTask()
-			})
-			err := k.Run(uint64(total) * 10000)
-			if err != nil {
-				pt.Deadlock = true
-			} else {
-				pt.Cycles = k.Now()
-				pt.Msgs = pSh.StreamStats(pT, 0).MsgsSent
-			}
-			out = append(out, pt)
+			configs = append(configs, config{grain, buf})
 		}
 	}
-	return out, nil
+	return ParallelMap(configs, SweepWorkers, func(_ int, c config) (CouplingPoint, error) {
+		grain, buf := c.grain, c.buf
+		pt := CouplingPoint{Grain: grain, BufBytes: buf}
+		k := sim.NewKernel()
+		// A deadlocked configuration surfaces as a cycle-limit pause, which
+		// leaves the producer/consumer goroutines parked; release them.
+		defer k.Shutdown()
+		fab := shell.NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+		pSh := fab.NewShell(shell.DefaultConfig("p"))
+		cSh := fab.NewShell(shell.DefaultConfig("c"))
+		pT := pSh.AddTask("prod", 0, 0)
+		cT := cSh.AddTask("cons", 0, 0)
+		if err := fab.Connect(shell.Endpoint{Shell: pSh, Task: pT, Port: 0},
+			[]shell.Endpoint{{Shell: cSh, Task: cT, Port: 0}}, uint32(buf)); err != nil {
+			return CouplingPoint{}, err
+		}
+		k.NewProc("prod", 0, func(p *sim.Proc) {
+			pSh.Bind(p)
+			data := make([]byte, grain)
+			sent := 0
+			for sent < total {
+				task, _, ok := pSh.GetTask()
+				if !ok {
+					return
+				}
+				if !pSh.GetSpace(task, 0, uint32(grain)) {
+					continue
+				}
+				pSh.Write(task, 0, 0, data)
+				pSh.PutSpace(task, 0, uint32(grain))
+				sent += grain
+			}
+			pSh.TaskDone(pT)
+			pSh.GetTask()
+		})
+		k.NewProc("cons", 0, func(p *sim.Proc) {
+			cSh.Bind(p)
+			buf := make([]byte, grain)
+			got := 0
+			for got < total {
+				task, _, ok := cSh.GetTask()
+				if !ok {
+					return
+				}
+				if !cSh.GetSpace(task, 0, uint32(grain)) {
+					continue
+				}
+				cSh.Read(task, 0, 0, buf)
+				cSh.PutSpace(task, 0, uint32(grain))
+				got += grain
+			}
+			cSh.TaskDone(cT)
+			cSh.GetTask()
+		})
+		err := k.Run(uint64(total) * 10000)
+		if err != nil {
+			pt.Deadlock = true
+		} else {
+			pt.Cycles = k.Now()
+			pt.Msgs = pSh.StreamStats(pT, 0).MsgsSent
+		}
+		return pt, nil
+	})
 }
 
 // RunMemoryOrganization compares the centralized and distributed stream-
 // memory organizations of the paper's Section 6 tradeoff on one decode
 // workload.
 func RunMemoryOrganization(stream []byte) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, distributed := range []bool{false, true} {
-		distributed := distributed
+	return runSweep([]bool{false, true}, func(distributed bool) (SweepPoint, error) {
 		label := "central SRAM"
 		if distributed {
 			label = "distributed banks"
@@ -325,15 +319,14 @@ func RunMemoryOrganization(stream []byte) ([]SweepPoint, error) {
 			a.DistributedStreams = distributed
 		}, DecodeOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", label, err)
+			return SweepPoint{}, fmt.Errorf("%s: %w", label, err)
 		}
 		pt := SweepPoint{Label: label, Cycles: cycles, Extra: map[string]float64{}}
 		if !distributed {
 			pt.Extra["read_bus_util"] = sys.SRAM.ReadPort().Utilization()
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // OpsEstimate approximates the arithmetic operations a decoder performs
@@ -386,6 +379,7 @@ type ThroughputReport struct {
 // aggregate throughput proxy.
 func RunThroughput(streams ...[]byte) (*ThroughputReport, error) {
 	sys := NewSystem(Fig8())
+	defer sys.Shutdown()
 	var apps []*DecodeApp
 	for i, st := range streams {
 		app, err := sys.AddDecodeApp(fmt.Sprintf("s%d", i), st, DecodeOptions{})

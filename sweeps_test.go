@@ -11,6 +11,23 @@ func sweepStream(t *testing.T) []byte {
 	return stream
 }
 
+// TestDecodeGoldenCycles pins the simulated cycle count of a reference
+// decode run. The constant was recorded on the original closure-per-event
+// kernel; the typed-event/timing-wheel kernel (and any future kernel
+// change) must reproduce it exactly — simulated time is part of the
+// model's semantics, and any drift means event ordering changed.
+func TestDecodeGoldenCycles(t *testing.T) {
+	const goldenCycles = 32471 // 64x48, 6 frames, default arch, seed kernel
+	cycles, _, err := runDecodeWith(sweepStream(t), nil, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != goldenCycles {
+		t.Fatalf("decode took %d simulated cycles, golden value is %d — "+
+			"kernel event ordering changed", cycles, goldenCycles)
+	}
+}
+
 func TestCacheSweepShape(t *testing.T) {
 	pts, err := RunCacheSweep(sweepStream(t), []int{1, 4, 16, 64})
 	if err != nil {

@@ -253,3 +253,9 @@ func (s *System) Run(limit uint64) (uint64, error) {
 	err := s.K.Run(limit)
 	return s.K.Now(), err
 }
+
+// Shutdown releases any process goroutines left parked by a Run call that
+// returned a *sim.LimitError pause (every other Run outcome shuts the
+// kernel down automatically). It is idempotent and safe to defer
+// unconditionally next to NewSystem.
+func (s *System) Shutdown() { s.K.Shutdown() }
