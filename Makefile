@@ -7,11 +7,20 @@
 #                runners (guards that no *sim.Kernel is ever shared
 #                across sweep worker goroutines)
 #   make bench   paper-experiment benchmarks with allocation stats
-#   make perf    refresh the BENCH_kernel.json engine-speed trajectory
+#   make perf    refresh the BENCH_kernel.json engine-speed and
+#                shell-transport trajectories
+#
+#   make bench-baseline   save the current benchmark results as the
+#                         comparison baseline (bench-baseline.txt)
+#   make benchcmp         re-run the benchmarks and compare against the
+#                         saved baseline with benchstat when available
+#                         (falls back to printing both runs)
 
 GO ?= go
+BENCH_BASELINE ?= bench-baseline.txt
+BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check vet build test race bench perf
+.PHONY: check vet build test race bench perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -33,3 +42,17 @@ bench:
 
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel
+	$(GO) run ./cmd/eclipse-bench shell
+
+bench-baseline:
+	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)
+
+benchcmp:
+	@test -f $(BENCH_BASELINE) || { \
+		echo "no $(BENCH_BASELINE); run 'make bench-baseline' first"; exit 1; }
+	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_NEW)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASELINE) $(BENCH_NEW); \
+	else \
+		echo "benchstat not installed; raw results in $(BENCH_BASELINE) / $(BENCH_NEW)"; \
+	fi

@@ -40,6 +40,16 @@ type kernelBenchEntry struct {
 	KernelMeventsPerS  float64 `json:"kernel_mevents_per_sec,omitempty"`
 	KernelAllocsPerOp  float64 `json:"kernel_allocs_per_op,omitempty"`
 	KernelStressEvents uint64  `json:"kernel_stress_events,omitempty"`
+
+	// Shell transport microbenchmark (`eclipse-bench shell`): wall-clock
+	// cost per KiB streamed producer->consumer and steady-state cache
+	// behavior. Zero allocs/KiB is the target after the pooled-transport
+	// rework.
+	ShellNsPerKB      float64 `json:"shell_ns_per_kib,omitempty"`
+	ShellMBPerS       float64 `json:"shell_mib_per_sec,omitempty"`
+	ShellAllocsPerKB  float64 `json:"shell_allocs_per_kib,omitempty"`
+	ShellReadHitRate  float64 `json:"shell_read_hit_rate,omitempty"`
+	ShellWriteHitRate float64 `json:"shell_write_hit_rate,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.
@@ -101,7 +111,7 @@ func kernelBench() {
 func loadKernelBench(path string) kernelBenchFile {
 	doc := kernelBenchFile{
 		Benchmark: "eclipse simulation-engine speed",
-		Schema:    "entries[]: {id, date, decode_* from the Fig10 QCIF workload, kernel_* from the pure-event stress}",
+		Schema:    "entries[]: {id, date, decode_* from the Fig10 QCIF workload, kernel_* from the pure-event stress, shell_* from the transport stress}",
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {

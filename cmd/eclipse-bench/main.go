@@ -15,6 +15,7 @@
 //	throughput  Section 6: ops/cycle proxy and bus utilization
 //	pipelined   Section 7 follow-up: pipelined DCT ablation
 //	kernel      engine wall-clock speed; updates BENCH_kernel.json
+//	shell       shell-transport wall-clock speed; updates BENCH_kernel.json
 //	all         everything above except kernel (which writes a file)
 package main
 
@@ -50,6 +51,7 @@ func main() {
 		"pipelined":  pipelined,
 		"memorg":     memorg,
 		"kernel":     kernelBench,
+		"shell":      shellBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",
@@ -218,6 +220,15 @@ func instance() {
 		float64(switches)/sec/1e3, float64(steps)/sec/1e3)
 	for _, u := range sys.Utilizations() {
 		fmt.Printf("  %-5s %5.1f%% busy\n", u.Name, u.Busy*100)
+	}
+	fmt.Println("  shell caches (read hit rate, write-backs, evictions):")
+	names := sys.CoproNames()
+	sort.Strings(names)
+	for _, n := range names {
+		sh := sys.Shell(n)
+		r, w := sh.ReadCacheStats(), sh.WriteCacheStats()
+		fmt.Printf("  %-5s read %5.1f%% hit (%d/%d)  flushes %d  evictions %d\n",
+			n, r.HitRate()*100, r.Hits, r.Accesses(), w.Flushes, r.Evictions+w.Evictions)
 	}
 
 	fmt.Println("\nsimultaneous encode + decode (time-shift):")

@@ -1,0 +1,169 @@
+package main
+
+// Shell transport speed: `eclipse-bench shell [entry-id [path]]` measures
+// the wall-clock cost of the coprocessor-shell data transport (cache-hit
+// reads/writes, demand misses, flushes, putspace messaging) with a
+// producer/consumer pair streaming through a fabric, and merges the
+// shell_* fields into the matching BENCH_kernel.json entry so the
+// transport trajectory lives alongside the engine trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eclipse/internal/mem"
+	"eclipse/internal/shell"
+	"eclipse/internal/sim"
+)
+
+// shellBenchResult is one measurement of the transport stress.
+type shellBenchResult struct {
+	bytesMoved uint64
+	wall       time.Duration
+	allocs     uint64
+	readHit    float64
+	writeHit   float64
+}
+
+// runShellStress streams total bytes producer->consumer through a fabric
+// with the default shell configuration (prefetch on), reading in line-
+// sized pieces so the read cache and prefetcher both participate.
+func runShellStress(total int) (shellBenchResult, error) {
+	var r shellBenchResult
+	k := sim.NewKernel()
+	f := shell.NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+	pSh := f.NewShell(shell.DefaultConfig("p"))
+	cSh := f.NewShell(shell.DefaultConfig("c"))
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	err := f.Connect(
+		shell.Endpoint{Shell: pSh, Task: pT, Port: 0},
+		[]shell.Endpoint{{Shell: cSh, Task: cT, Port: 0}},
+		1024,
+	)
+	if err != nil {
+		return r, err
+	}
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		data := make([]byte, 256)
+		sent := 0
+		for sent < total {
+			task, _, ok := pSh.GetTask()
+			if !ok {
+				return
+			}
+			if !pSh.GetSpace(task, 0, 256) {
+				continue
+			}
+			pSh.Write(task, 0, 0, data)
+			pSh.PutSpace(task, 0, 256)
+			sent += 256
+		}
+		pSh.TaskDone(pT)
+		pSh.GetTask()
+	})
+	k.NewProc("cons", 0, func(p *sim.Proc) {
+		cSh.Bind(p)
+		buf := make([]byte, 16)
+		rcv := 0
+		for rcv < total {
+			task, _, ok := cSh.GetTask()
+			if !ok {
+				return
+			}
+			if !cSh.GetSpace(task, 0, 256) {
+				continue
+			}
+			for off := uint32(0); off < 256; off += 16 {
+				cSh.Read(task, 0, off, buf)
+			}
+			cSh.PutSpace(task, 0, 256)
+			rcv += 256
+		}
+		cSh.TaskDone(cT)
+		cSh.GetTask()
+	})
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	if err := k.Run(0); err != nil {
+		return r, err
+	}
+	r.wall = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	r.allocs = ms1.Mallocs - ms0.Mallocs
+	r.bytesMoved = uint64(total)
+	r.readHit = cSh.ReadCacheStats().HitRate()
+	r.writeHit = pSh.WriteCacheStats().HitRate()
+	return r, nil
+}
+
+// shellBench measures the transport and updates the trajectory file.
+func shellBench() {
+	id := "head-" + time.Now().Format("2006-01-02")
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("Shell transport speed (wall clock) -> " + path)
+
+	const total = 4 << 20 // 4 MiB through a 1 kB stream buffer
+	var best shellBenchResult
+	best.wall = 1<<63 - 1
+	for round := 0; round < 3; round++ {
+		r, err := runShellStress(total)
+		if err != nil {
+			fail(err)
+		}
+		if r.wall < best.wall {
+			best = r
+		}
+	}
+
+	nsPerKB := float64(best.wall.Nanoseconds()) / (float64(best.bytesMoved) / 1024)
+	mbPerS := float64(best.bytesMoved) / (1 << 20) / best.wall.Seconds()
+	allocsPerKB := float64(best.allocs) / (float64(best.bytesMoved) / 1024)
+	fmt.Printf("  transport: %8.1f ns/KiB  %8.1f MiB/s wall  %6.3f allocs/KiB\n",
+		nsPerKB, mbPerS, allocsPerKB)
+	fmt.Printf("  caches:    read hit rate %5.1f%%  write hit rate %5.1f%%\n",
+		best.readHit*100, best.writeHit*100)
+
+	doc := loadKernelBench(path)
+	idx := -1
+	for i := range doc.Entries {
+		if doc.Entries[i].ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		doc.Entries = append(doc.Entries, kernelBenchEntry{
+			ID: id, Date: time.Now().Format("2006-01-02"),
+		})
+		idx = len(doc.Entries) - 1
+	}
+	e := &doc.Entries[idx]
+	e.ShellNsPerKB = nsPerKB
+	e.ShellMBPerS = mbPerS
+	e.ShellAllocsPerKB = allocsPerKB
+	e.ShellReadHitRate = best.readHit
+	e.ShellWriteHitRate = best.writeHit
+	doc.Updated = time.Now().UTC().Format(time.RFC3339)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  merged shell_* fields into entry %q (%d entries total)\n\n", id, len(doc.Entries))
+}

@@ -128,6 +128,11 @@ func (m *Memory) WriteAccess(p *sim.Proc, addr uint32, data []byte) {
 // ReadAsync starts a read without blocking the caller; done runs (with
 // the data copied into buf) when the modeled transfer completes. It is
 // used by the shells' prefetch engines.
+//
+// Buffer ownership: the memory owns buf from this call until done runs —
+// the caller must neither reuse nor recycle it earlier, and done is the
+// single point where ownership returns to the caller (the shells recycle
+// pooled scratch buffers there).
 func (m *Memory) ReadAsync(addr uint32, buf []byte, done func()) {
 	m.read.AccessAsync(addr, len(buf), m.cfg.ReadLatency, func() {
 		m.Peek(addr, buf)
@@ -139,16 +144,47 @@ func (m *Memory) ReadAsync(addr uint32, buf []byte, done func()) {
 
 // WriteAsync starts a write without blocking the caller; done (optional)
 // runs when the modeled transfer completes. The data is captured
-// immediately and stored at completion time.
+// immediately and stored at completion time, so the caller may reuse data
+// as soon as the call returns (at the cost of an allocation per call —
+// hot paths with stable buffers should use WriteAsyncOwned).
 func (m *Memory) WriteAsync(addr uint32, data []byte, done func()) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	m.WriteAsyncOwned(addr, cp, done)
+}
+
+// WriteAsyncOwned starts a write without blocking the caller and without
+// copying: ownership of data transfers to the memory until done runs.
+// The caller must not mutate, reuse, or recycle data before then; done is
+// where ownership returns (the shells' flush path hands over a pooled
+// buffer and recycles it in done). The bytes are stored at the modeled
+// completion time, matching WriteAsync's semantics.
+func (m *Memory) WriteAsyncOwned(addr uint32, data []byte, done func()) {
 	m.write.AccessAsync(addr, len(data), m.cfg.WriteLatency, func() {
-		m.Poke(addr, cp)
+		m.Poke(addr, data)
 		if done != nil {
 			done()
 		}
 	})
+}
+
+// ScheduleRead books an asynchronous read transfer of n bytes at addr on
+// the read port and runs done at the modeled completion cycle. Unlike
+// ReadAsync it moves no bytes: done itself must Peek the data it wants.
+// This zero-closure variant exists for hot paths that reuse a pre-bound
+// completion callback (the shells' pooled fetch requests) — the package's
+// functional-content/timing split makes the caller-side copy safe.
+func (m *Memory) ScheduleRead(addr uint32, n int, done func()) {
+	m.read.AccessAsync(addr, n, m.cfg.ReadLatency, done)
+}
+
+// ScheduleWrite books an asynchronous write transfer of n bytes at addr
+// on the write port and runs done at the modeled completion cycle. Unlike
+// WriteAsync it moves no bytes: done itself must Poke the data, which by
+// the package's content/timing split is exactly equivalent to storing at
+// completion time. Zero-closure counterpart of ScheduleRead.
+func (m *Memory) ScheduleWrite(addr uint32, n int, done func()) {
+	m.write.AccessAsync(addr, n, m.cfg.WriteLatency, done)
 }
 
 // Port models one bus: a serializing server with a given transfer width.

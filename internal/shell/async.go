@@ -1,0 +1,152 @@
+package shell
+
+// Pooled asynchronous request objects for the data-transport hot path.
+//
+// Every asynchronous interaction of a shell with the rest of the fabric —
+// prefetch line fetches, write-back flushes, and putspace messages — ends
+// in a callback scheduled on the kernel. Building that callback as a
+// fresh closure per event was a dominant allocation source (hundreds of
+// thousands of closures per simulated GOP). Instead, each request kind is
+// a small struct with a `fire func()` bound ONCE at construction to its
+// own complete method; the structs are recycled through per-shell (or
+// per-fabric) free lists, so steady-state transport schedules zero
+// allocations per event.
+//
+// Reentrancy rule: complete() copies every field it needs into locals (or
+// finishes using the struct) before releasing it back to the free list,
+// because a downstream call may pop the same object for a new request in
+// the same cycle.
+
+import "eclipse/internal/mem"
+
+// ---------------------------------------------------------------------
+// Prefetch fetch requests
+
+// fetchReq is one in-flight asynchronous line fetch issued by the
+// prefetcher. The memory's ScheduleRead books only timing; complete moves
+// the bytes (Peek) at the modeled completion cycle, then merges them into
+// the read cache iff the fetch generation is still wanted.
+type fetchReq struct {
+	sh   *Shell
+	r    *streamRow
+	m    *mem.Memory
+	addr uint32
+	tok  uint32
+	buf  []byte
+	fire func() // bound once to complete
+}
+
+func (sh *Shell) newFetch() *fetchReq {
+	if k := len(sh.fetchPool); k > 0 {
+		fr := sh.fetchPool[k-1]
+		sh.fetchPool = sh.fetchPool[:k-1]
+		return fr
+	}
+	fr := &fetchReq{sh: sh}
+	fr.fire = fr.complete
+	return fr
+}
+
+func (fr *fetchReq) complete() {
+	sh := fr.sh
+	fr.m.Peek(fr.addr, fr.buf)
+	// Merge only if this exact fetch generation is still wanted: a
+	// GetSpace invalidation, a demand fetch, or a newer prefetch of the
+	// same line has since cancelled or re-registered the address, and
+	// merging would install stale pre-flush data.
+	if sh.inflight.matches(fr.addr, fr.tok) {
+		sh.inflight.remove(fr.addr)
+		sh.rcache.evict(fr.addr, nil)
+		sh.mergeWindow(fr.r, fr.addr, fr.buf)
+	} else {
+		sh.prefDropped++
+	}
+	sh.pool.put(fr.buf)
+	fr.r, fr.m, fr.buf = nil, nil, nil
+	sh.fetchPool = append(sh.fetchPool, fr)
+}
+
+// ---------------------------------------------------------------------
+// Write-back flush requests
+
+// flushReq is one asynchronous write-back of a dirty span, staged into a
+// pooled buffer at issue time (the cache line may be re-dirtied before
+// the modeled write completes). complete stores the bytes (Poke) at the
+// completion cycle and then releases the putspace commit waiting on it.
+type flushReq struct {
+	sh   *Shell
+	r    *streamRow
+	m    *mem.Memory
+	addr uint32
+	buf  []byte
+	fire func() // bound once to complete
+}
+
+func (sh *Shell) newFlush() *flushReq {
+	if k := len(sh.flushPool); k > 0 {
+		fl := sh.flushPool[k-1]
+		sh.flushPool = sh.flushPool[:k-1]
+		return fl
+	}
+	fl := &flushReq{sh: sh}
+	fl.fire = fl.complete
+	return fl
+}
+
+func (fl *flushReq) complete() {
+	sh := fl.sh
+	r := fl.r
+	fl.m.Poke(fl.addr, fl.buf)
+	sh.pool.put(fl.buf)
+	fl.r, fl.m, fl.buf = nil, nil, nil
+	sh.flushPool = append(sh.flushPool, fl)
+	sh.fab.inflightMsgs--
+	sh.commitFlushed(r)
+}
+
+// issueFlush stages one dirty span for write-back. It is the cache's
+// flushOverlapping issue callback, pre-bound in NewShell; the target row
+// and memory are parked on the shell (flushRow/flushMem) by PutSpace
+// right before the scan, which keeps the hot path closure-free.
+func (sh *Shell) issueFlush(addr uint32, data []byte) {
+	fl := sh.newFlush()
+	fl.r = sh.flushRow
+	fl.m = sh.flushMem
+	fl.addr = addr
+	fl.buf = sh.pool.get(len(data))
+	copy(fl.buf, data)
+	fl.m.ScheduleWrite(addr, len(data), fl.fire)
+}
+
+// ---------------------------------------------------------------------
+// Putspace messages
+
+// psMsg is one putspace message in flight on the synchronization network
+// (paper Section 5.1). Pooled on the fabric, since messages cross shells.
+type psMsg struct {
+	f    *Fabric
+	dst  *Shell
+	row  int
+	slot int
+	n    uint32
+	fire func() // bound once to deliver
+}
+
+func (f *Fabric) newMsg() *psMsg {
+	if k := len(f.msgPool); k > 0 {
+		m := f.msgPool[k-1]
+		f.msgPool = f.msgPool[:k-1]
+		return m
+	}
+	m := &psMsg{f: f}
+	m.fire = m.deliver
+	return m
+}
+
+func (m *psMsg) deliver() {
+	f, dst, row, slot, n := m.f, m.dst, m.row, m.slot, m.n
+	m.dst = nil
+	f.msgPool = append(f.msgPool, m)
+	f.inflightMsgs--
+	dst.recvPutSpace(row, slot, n)
+}

@@ -15,30 +15,160 @@ package shell
 // Caches are direct mapped on the absolute memory line address. The
 // write cache keeps a per-byte dirty mask so partial-line writes never
 // require a fetch (no write-allocate-read), matching a hardware design
-// with byte enables.
+// with byte enables. Per-byte masks (the read cache's sector-validity
+// mask and the write cache's dirty mask) are packed into uint64 words —
+// one bit per byte, so a 16..64-byte line is a single word — and every
+// mask operation (cover test, merge, invalidate, dirty-extent scan) is
+// word-wise AND/OR/shift arithmetic instead of a byte loop.
 
-import "eclipse/internal/mem"
+import "math/bits"
 
-type cacheLine struct {
-	valid bool
-	tag   uint32 // absolute address of the line's first byte
-	data  []byte
-	dirty []bool // write cache only: bytes to be flushed
-	ok    []bool // read cache only: per-byte validity (sector cache)
+// ---------------------------------------------------------------------
+// Packed per-byte bit masks
+//
+// Bit i of word i/64 corresponds to byte offset i within a cache line.
+// All range arguments are byte offsets with lo <= hi; the bit range
+// [lo, hi) is operated on. Lines are 16–64 bytes in every configuration
+// the paper sweeps, so the fast path is a single word.
+
+// maskWordsFor returns the number of 64-bit words covering n per-byte bits.
+func maskWordsFor(n int) int { return (n + 63) / 64 }
+
+// wordBits returns the mask of bits [lo, hi) within one word, where
+// 0 <= lo < hi <= 64.
+func wordBits(lo, hi uint32) uint64 {
+	m := ^uint64(0) << lo
+	if hi < 64 {
+		m &= (uint64(1) << hi) - 1
+	}
+	return m
 }
 
-// anyOK reports whether any byte of the line is valid.
-func (ln *cacheLine) anyOK() bool {
-	for _, v := range ln.ok {
-		if v {
+// maskSetRange sets bits [lo, hi).
+func maskSetRange(mask []uint64, lo, hi uint32) {
+	if lo >= hi {
+		return
+	}
+	w0, w1 := lo>>6, (hi-1)>>6
+	if w0 == w1 {
+		mask[w0] |= wordBits(lo&63, (hi-1)&63+1)
+		return
+	}
+	mask[w0] |= wordBits(lo&63, 64)
+	for w := w0 + 1; w < w1; w++ {
+		mask[w] = ^uint64(0)
+	}
+	mask[w1] |= wordBits(0, (hi-1)&63+1)
+}
+
+// maskClearRange clears bits [lo, hi).
+func maskClearRange(mask []uint64, lo, hi uint32) {
+	if lo >= hi {
+		return
+	}
+	w0, w1 := lo>>6, (hi-1)>>6
+	if w0 == w1 {
+		mask[w0] &^= wordBits(lo&63, (hi-1)&63+1)
+		return
+	}
+	mask[w0] &^= wordBits(lo&63, 64)
+	for w := w0 + 1; w < w1; w++ {
+		mask[w] = 0
+	}
+	mask[w1] &^= wordBits(0, (hi-1)&63+1)
+}
+
+// maskCoversRange reports whether every bit of [lo, hi) is set.
+func maskCoversRange(mask []uint64, lo, hi uint32) bool {
+	if lo >= hi {
+		return true
+	}
+	w0, w1 := lo>>6, (hi-1)>>6
+	if w0 == w1 {
+		m := wordBits(lo&63, (hi-1)&63+1)
+		return mask[w0]&m == m
+	}
+	if m := wordBits(lo&63, 64); mask[w0]&m != m {
+		return false
+	}
+	for w := w0 + 1; w < w1; w++ {
+		if mask[w] != ^uint64(0) {
+			return false
+		}
+	}
+	m := wordBits(0, (hi-1)&63+1)
+	return mask[w1]&m == m
+}
+
+// maskAny reports whether any bit is set.
+func maskAny(mask []uint64) bool {
+	for _, w := range mask {
+		if w != 0 {
 			return true
 		}
 	}
 	return false
 }
 
+// maskClear clears every bit.
+func maskClear(mask []uint64) {
+	for i := range mask {
+		mask[i] = 0
+	}
+}
+
+// maskExtent returns the smallest [lo, hi) bit span containing every set
+// bit, or ok=false when the mask is empty.
+func maskExtent(mask []uint64) (lo, hi uint32, ok bool) {
+	first := -1
+	last := -1
+	for i, w := range mask {
+		if w == 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+			lo = uint32(i*64 + bits.TrailingZeros64(w))
+		}
+		last = i
+	}
+	if first < 0 {
+		return 0, 0, false
+	}
+	hi = uint32(last*64 + bits.Len64(mask[last]))
+	return lo, hi, true
+}
+
+// ---------------------------------------------------------------------
+// Cache lines
+
+// cacheLine is one direct-mapped slot. mask packs the per-byte state one
+// bit per byte: validity for read-cache lines (sector cache), dirtiness
+// for write-cache lines.
+type cacheLine struct {
+	valid bool
+	tag   uint32 // absolute address of the line's first byte
+	data  []byte
+	mask  []uint64
+}
+
+// anyOK reports whether any byte of the line is valid (read cache).
+func (ln *cacheLine) anyOK() bool { return maskAny(ln.mask) }
+
+// covers reports whether the line holds valid data for the whole byte
+// range [lo, hi) of offsets within the line (read cache only).
+func (ln *cacheLine) covers(lo, hi uint32) bool { return maskCoversRange(ln.mask, lo, hi) }
+
+// dirtyExtent returns the smallest [lo, hi) byte span of the line that is
+// dirty, or ok=false if the line is clean (write cache only).
+func (ln *cacheLine) dirtyExtent() (lo, hi uint32, ok bool) { return maskExtent(ln.mask) }
+
+// markDirty flags the byte offsets [lo, hi) as dirty (write cache only).
+func (ln *cacheLine) markDirty(lo, hi uint32) { maskSetRange(ln.mask, lo, hi) }
+
 type cache struct {
 	lineBytes int
+	words     int // mask words per line
 	lines     []cacheLine
 	write     bool // write cache (keeps dirty masks)
 
@@ -47,14 +177,19 @@ type cache struct {
 }
 
 func newCache(nLines, lineBytes int, write bool) *cache {
-	c := &cache{lineBytes: lineBytes, lines: make([]cacheLine, nLines), write: write}
+	c := &cache{
+		lineBytes: lineBytes,
+		words:     maskWordsFor(lineBytes),
+		lines:     make([]cacheLine, nLines),
+		write:     write,
+	}
+	// One backing array for all data, one for all masks: fewer objects
+	// and better locality than a slice pair per line.
+	data := make([]byte, nLines*lineBytes)
+	masks := make([]uint64, nLines*c.words)
 	for i := range c.lines {
-		c.lines[i].data = make([]byte, lineBytes)
-		if write {
-			c.lines[i].dirty = make([]bool, lineBytes)
-		} else {
-			c.lines[i].ok = make([]bool, lineBytes)
-		}
+		c.lines[i].data = data[i*lineBytes : (i+1)*lineBytes : (i+1)*lineBytes]
+		c.lines[i].mask = masks[i*c.words : (i+1)*c.words : (i+1)*c.words]
 	}
 	return c
 }
@@ -79,17 +214,6 @@ func (c *cache) lookup(addr uint32) *cacheLine {
 	return nil
 }
 
-// covers reports whether the line holds valid data for the whole byte
-// range [lo, hi) of offsets within the line (read cache only).
-func (ln *cacheLine) covers(lo, hi uint32) bool {
-	for i := lo; i < hi; i++ {
-		if !ln.ok[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // merge installs freshly fetched line data, marking valid only the byte
 // offsets [vlo, vhi) — the intersection of the line with the task's
 // granted window. Bytes outside the window may have been fetched mid-
@@ -101,14 +225,13 @@ func (c *cache) merge(addr uint32, data []byte, vlo, vhi uint32) *cacheLine {
 	if !ln.valid || ln.tag != base {
 		ln.valid = true
 		ln.tag = base
-		for i := range ln.ok {
-			ln.ok[i] = false
-		}
+		maskClear(ln.mask)
 	}
 	copy(ln.data, data)
-	for i := vlo; i < vhi && int(i) < len(ln.ok); i++ {
-		ln.ok[i] = true
+	if vhi > uint32(c.lineBytes) {
+		vhi = uint32(c.lineBytes)
 	}
+	maskSetRange(ln.mask, vlo, vhi)
 	return ln
 }
 
@@ -136,9 +259,7 @@ func (c *cache) invalidateRange(lo, hi uint32) {
 		if b > end {
 			b = end
 		}
-		for j := a - ln.tag; j < b-ln.tag; j++ {
-			ln.ok[j] = false
-		}
+		maskClearRange(ln.mask, a-ln.tag, b-ln.tag)
 		if !ln.anyOK() {
 			ln.valid = false
 		}
@@ -146,28 +267,12 @@ func (c *cache) invalidateRange(lo, hi uint32) {
 	}
 }
 
-// dirtyExtent returns the smallest [lo, hi) byte span of the line that is
-// dirty, or ok=false if the line is clean.
-func (ln *cacheLine) dirtyExtent() (lo, hi int, ok bool) {
-	lo, hi = -1, -1
-	for i, d := range ln.dirty {
-		if d {
-			if lo < 0 {
-				lo = i
-			}
-			hi = i + 1
-		}
-	}
-	if lo < 0 {
-		return 0, 0, false
-	}
-	return lo, hi, true
-}
-
-// flushOverlapping writes back every dirty line overlapping [lo, hi) via
-// async memory writes and returns the number of writes issued; each
-// write's completion invokes done. Flushed lines stay valid but clean.
-func (c *cache) flushOverlapping(m *mem.Memory, lo, hi uint32, done func()) int {
+// flushOverlapping scans every dirty line overlapping [lo, hi), hands
+// each dirty span to issue (which must stage the bytes immediately — the
+// line may be re-dirtied before the modeled write completes), marks the
+// span clean, and returns the number of spans issued. The shell's issue
+// implementation books the asynchronous write-back (see prims.go).
+func (c *cache) flushOverlapping(lo, hi uint32, issue func(addr uint32, data []byte)) int {
 	issued := 0
 	for i := range c.lines {
 		ln := &c.lines[i]
@@ -181,10 +286,8 @@ func (c *cache) flushOverlapping(m *mem.Memory, lo, hi uint32, done func()) int 
 		if !ok {
 			continue
 		}
-		m.WriteAsync(ln.tag+uint32(dlo), ln.data[dlo:dhi], done)
-		for j := dlo; j < dhi; j++ {
-			ln.dirty[j] = false
-		}
+		issue(ln.tag+dlo, ln.data[dlo:dhi])
+		maskClearRange(ln.mask, dlo, dhi)
 		c.flushes++
 		issued++
 	}
@@ -202,10 +305,8 @@ func (c *cache) evict(addr uint32, sync func(a uint32, data []byte)) {
 	}
 	if c.write {
 		if lo, hi, ok := ln.dirtyExtent(); ok {
-			sync(ln.tag+uint32(lo), ln.data[lo:hi])
-			for j := lo; j < hi; j++ {
-				ln.dirty[j] = false
-			}
+			sync(ln.tag+lo, ln.data[lo:hi])
+			maskClearRange(ln.mask, lo, hi)
 		}
 	}
 	ln.valid = false
@@ -215,6 +316,17 @@ func (c *cache) evict(addr uint32, sync func(a uint32, data []byte)) {
 // CacheStats is a snapshot of cache activity.
 type CacheStats struct {
 	Hits, Misses, Evictions, Invalidations, Flushes uint64
+}
+
+// Accesses returns the total lookup count.
+func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns the hit fraction of all lookups (0 when idle).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 func (c *cache) stats() CacheStats {

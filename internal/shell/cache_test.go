@@ -1,0 +1,254 @@
+package shell
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMaskOpsMatchBoolModel cross-checks every packed-bitmask operation
+// against a straightforward []bool reference model over randomized
+// ranges, including multi-word lines (up to 192 bytes = 3 words) and the
+// word-boundary edges (lo/hi at 0, 63, 64, 65, 127, 128).
+func TestMaskOpsMatchBoolModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nbits := range []int{1, 7, 16, 63, 64, 65, 100, 128, 129, 192} {
+		mask := make([]uint64, maskWordsFor(nbits))
+		model := make([]bool, nbits)
+		randRange := func() (uint32, uint32) {
+			a := uint32(rng.Intn(nbits + 1))
+			b := uint32(rng.Intn(nbits + 1))
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+		for step := 0; step < 2000; step++ {
+			lo, hi := randRange()
+			switch rng.Intn(3) {
+			case 0:
+				maskSetRange(mask, lo, hi)
+				for i := lo; i < hi; i++ {
+					model[i] = true
+				}
+			case 1:
+				maskClearRange(mask, lo, hi)
+				for i := lo; i < hi; i++ {
+					model[i] = false
+				}
+			case 2:
+				got := maskCoversRange(mask, lo, hi)
+				want := true
+				for i := lo; i < hi; i++ {
+					if !model[i] {
+						want = false
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("nbits=%d step=%d covers[%d,%d) = %v, model %v (mask %x)",
+						nbits, step, lo, hi, got, want, mask)
+				}
+			}
+			// Invariants checked every step.
+			anyWant := false
+			for _, v := range model {
+				if v {
+					anyWant = true
+					break
+				}
+			}
+			if got := maskAny(mask); got != anyWant {
+				t.Fatalf("nbits=%d step=%d any = %v, model %v", nbits, step, got, anyWant)
+			}
+			elo, ehi, eok := maskExtent(mask)
+			wlo, whi, wok := uint32(0), uint32(0), false
+			for i, v := range model {
+				if v {
+					if !wok {
+						wlo = uint32(i)
+						wok = true
+					}
+					whi = uint32(i) + 1
+				}
+			}
+			if eok != wok || elo != wlo || ehi != whi {
+				t.Fatalf("nbits=%d step=%d extent = (%d,%d,%v), model (%d,%d,%v)",
+					nbits, step, elo, ehi, eok, wlo, whi, wok)
+			}
+			// High bits beyond nbits must never be set.
+			if top := nbits % 64; top != 0 {
+				if mask[len(mask)-1]&^(uint64(1)<<top-1) != 0 {
+					t.Fatalf("nbits=%d step=%d: bits set beyond line end: %x", nbits, step, mask)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskWordBoundaryEdges pins the exact word-straddling edge cases of
+// the packed-range helpers.
+func TestMaskWordBoundaryEdges(t *testing.T) {
+	mask := make([]uint64, 2)
+	maskSetRange(mask, 60, 68) // straddles the word boundary
+	if mask[0] != 0xF000000000000000 || mask[1] != 0xF {
+		t.Fatalf("straddle set: %x", mask)
+	}
+	if !maskCoversRange(mask, 60, 68) || maskCoversRange(mask, 59, 68) || maskCoversRange(mask, 60, 69) {
+		t.Fatal("straddle covers")
+	}
+	if lo, hi, ok := maskExtent(mask); !ok || lo != 60 || hi != 68 {
+		t.Fatalf("straddle extent %d %d %v", lo, hi, ok)
+	}
+	maskClearRange(mask, 63, 65)
+	if mask[0] != 0x7000000000000000 || mask[1] != 0xE {
+		t.Fatalf("straddle clear: %x", mask)
+	}
+	maskSetRange(mask, 0, 128)
+	if mask[0] != ^uint64(0) || mask[1] != ^uint64(0) {
+		t.Fatalf("full set: %x", mask)
+	}
+	if !maskCoversRange(mask, 0, 128) {
+		t.Fatal("full covers")
+	}
+	maskClearRange(mask, 0, 128)
+	if maskAny(mask) {
+		t.Fatalf("full clear: %x", mask)
+	}
+	if !maskCoversRange(mask, 5, 5) {
+		t.Fatal("empty range must cover")
+	}
+}
+
+// TestInflightSetMatchesMapModel drives the open-addressed in-flight set
+// against a map reference through random add/remove/lookup mixes, forcing
+// growth and the backward-shift deletion paths.
+func TestInflightSetMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newInflightSet()
+	model := map[uint32]uint32{}
+	// Line addresses: aligned multiples of 16, a small range to force
+	// collisions and long probe chains.
+	addrOf := func() uint32 { return uint32(rng.Intn(64)) * 16 }
+	for step := 0; step < 20000; step++ {
+		a := addrOf()
+		switch rng.Intn(4) {
+		case 0, 1:
+			tok := s.add(a)
+			model[a] = tok
+		case 2:
+			s.remove(a)
+			delete(model, a)
+		case 3:
+			if got := s.contains(a); got != (model[a] != 0) {
+				_, ok := model[a]
+				if got != ok {
+					t.Fatalf("step %d: contains(%d) = %v, model %v", step, a, got, ok)
+				}
+			}
+			if tok, ok := model[a]; ok {
+				if !s.matches(a, tok) {
+					t.Fatalf("step %d: matches(%d, %d) = false", step, a, tok)
+				}
+				if s.matches(a, tok+1) {
+					t.Fatalf("step %d: stale token matched", step)
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("step %d: len %d, model %d", step, s.Len(), len(model))
+		}
+	}
+	// Drain and verify emptiness.
+	for a := range model {
+		s.remove(a)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained len %d", s.Len())
+	}
+	for a := uint32(0); a < 64*16; a += 16 {
+		if s.contains(a) {
+			t.Fatalf("ghost entry %d after drain", a)
+		}
+	}
+}
+
+// TestInflightSetReAddBumpsGeneration pins the aliasing defense: re-
+// registering an address must invalidate the token handed to the earlier
+// fetch, so its completion cannot merge.
+func TestInflightSetReAddBumpsGeneration(t *testing.T) {
+	s := newInflightSet()
+	t1 := s.add(256)
+	t2 := s.add(256)
+	if t1 == t2 {
+		t.Fatal("re-add did not change generation")
+	}
+	if s.matches(256, t1) {
+		t.Fatal("stale generation still matches")
+	}
+	if !s.matches(256, t2) {
+		t.Fatal("current generation must match")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after re-add", s.Len())
+	}
+}
+
+// TestBufPoolRecycles checks the free-list behavior and statistics of the
+// scratch-buffer pool.
+func TestBufPoolRecycles(t *testing.T) {
+	bp := newBufPool(64)
+	a := bp.get(64)
+	b := bp.get(16)
+	if len(a) != 64 || len(b) != 16 || cap(b) != 64 {
+		t.Fatalf("sizes: %d/%d cap %d", len(a), len(b), cap(b))
+	}
+	bp.put(a)
+	c := bp.get(32)
+	if &c[0] != &a[0] {
+		t.Fatal("pool did not recycle the freed buffer")
+	}
+	bp.put(b)
+	bp.put(c)
+	st := bp.stats()
+	if st.Gets != 3 || st.Allocations != 2 || st.Outstanding != 0 || st.Peak != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Oversized one-offs are served but not pooled.
+	big := bp.get(1000)
+	if len(big) != 1000 {
+		t.Fatal("oversized get")
+	}
+	bp.put(big)
+	if len(bp.free) != 2 {
+		t.Fatalf("oversized buffer was pooled (%d)", len(bp.free))
+	}
+}
+
+// TestCacheMergePartialLineValidity exercises the sector-validity rules
+// directly on a cache: merges bounded to window intersections, partial
+// invalidation, and the line dropping only when its last valid byte goes.
+func TestCacheMergePartialLineValidity(t *testing.T) {
+	c := newCache(4, 16, false)
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	ln := c.merge(32, data, 4, 12)
+	if ln.covers(4, 12) != true || ln.covers(3, 12) || ln.covers(4, 13) {
+		t.Fatal("window-bounded validity wrong")
+	}
+	// A second merge of the same line extends validity without resetting.
+	c.merge(32, data, 0, 4)
+	if !ln.covers(0, 12) || ln.covers(0, 13) {
+		t.Fatal("merge extension wrong")
+	}
+	// Partial invalidation keeps the line while any byte stays valid.
+	c.invalidateRange(32, 36)
+	if ln.covers(0, 4) || !ln.covers(4, 12) || !ln.valid {
+		t.Fatal("partial invalidation wrong")
+	}
+	c.invalidateRange(36, 48)
+	if ln.valid {
+		t.Fatal("line must drop when its last valid byte is invalidated")
+	}
+}

@@ -132,6 +132,122 @@ func TestRandomizedConfigurationsPreserveData(t *testing.T) {
 	}
 }
 
+// TestPartialLineValidityAcrossWrapAround pins the bitmask merge /
+// invalidateRange edge cases at the circular-buffer seam. With a buffer
+// size that is NOT a multiple of the cache-line size, the window regularly
+// wraps mid-line: a granted window then intersects a line in two separate
+// byte ranges across iterations, so merges must extend per-byte validity
+// without resetting it, GetSpace invalidations must clear only the
+// overlapped bytes, and odd-sized commits keep every span misaligned with
+// the mask words. Line sizes above 64 bytes additionally force the
+// multi-word (straddling) paths of the packed masks. Paranoid compares
+// every Read against ground truth, so any validity-tracking slip is fatal.
+func TestPartialLineValidityAcrossWrapAround(t *testing.T) {
+	old := Paranoid
+	Paranoid = true
+	defer func() { Paranoid = old }()
+
+	cases := []struct {
+		bufSize        uint32
+		lineBytes      int
+		pChunk, cChunk int
+	}{
+		{uint32(80), 32, 13, 7},    // buffer = 2.5 lines, odd chunks
+		{uint32(176), 64, 23, 11},  // buffer = 2.75 lines
+		{uint32(200), 128, 31, 17}, // multi-word masks (128 B = 2 words)
+		{uint32(96), 64, 5, 3},     // tiny odd chunks, 1.5-line buffer
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("buf=%d/line=%d/p=%d/c=%d", tc.bufSize, tc.lineBytes, tc.pChunk, tc.cChunk)
+		if tc.bufSize%uint32(tc.lineBytes) == 0 {
+			t.Fatalf("%s: case must not be line-aligned", name)
+		}
+		pCfg, cCfg := DefaultConfig("p"), DefaultConfig("c")
+		for _, cfg := range []*Config{&pCfg, &cCfg} {
+			cfg.LineBytes = tc.lineBytes
+			cfg.ReadCacheLines = 4
+			cfg.WriteCacheLines = 4
+			cfg.PrefetchDepth = 2
+		}
+		k := sim.NewKernel()
+		f := NewFabric(k, mem.New(k, mem.Fig8SRAM()))
+		pSh := f.NewShell(pCfg)
+		cSh := f.NewShell(cCfg)
+		pT := pSh.AddTask("prod", 0, 0)
+		cT := cSh.AddTask("cons", 0, 0)
+		if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, tc.bufSize); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Enough traffic for many full trips around the buffer.
+		total := int(tc.bufSize) * 20
+		var got bytes.Buffer
+		k.NewProc("prod", 0, func(p *sim.Proc) {
+			pSh.Bind(p)
+			sent := 0
+			for sent < total {
+				task, _, ok := pSh.GetTask()
+				if !ok {
+					return
+				}
+				n := tc.pChunk
+				if sent+n > total {
+					n = total - sent
+				}
+				if !pSh.GetSpace(task, 0, uint32(n)) {
+					continue
+				}
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte((sent + i) * 131)
+				}
+				pSh.Write(task, 0, 0, data)
+				pSh.PutSpace(task, 0, uint32(n))
+				sent += n
+			}
+			pSh.TaskDone(pT)
+			pSh.GetTask()
+		})
+		k.NewProc("cons", 0, func(p *sim.Proc) {
+			cSh.Bind(p)
+			rcv := 0
+			for rcv < total {
+				task, _, ok := cSh.GetTask()
+				if !ok {
+					return
+				}
+				n := tc.cChunk
+				if rcv+n > total {
+					n = total - rcv
+				}
+				if !cSh.GetSpace(task, 0, uint32(n)) {
+					continue
+				}
+				buf := make([]byte, n)
+				cSh.Read(task, 0, 0, buf)
+				cSh.PutSpace(task, 0, uint32(n))
+				got.Write(buf)
+				rcv += n
+			}
+			cSh.TaskDone(cT)
+			cSh.GetTask()
+		})
+		if err := k.Run(100_000_000); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Len() != total {
+			t.Fatalf("%s: moved %d of %d bytes", name, got.Len(), total)
+		}
+		for i, b := range got.Bytes() {
+			if b != byte(i*131) {
+				t.Fatalf("%s: byte %d corrupted (got %#x want %#x)", name, i, b, byte(i*131))
+			}
+		}
+		if out := cSh.TransportStats().Pool.Outstanding; out != 0 {
+			t.Fatalf("%s: leaked %d scratch buffers", name, out)
+		}
+	}
+}
+
 // TestSelfLoopStream checks a task consuming its own output (a legal,
 // if unusual, Kahn topology) through one shell.
 func TestSelfLoopStream(t *testing.T) {

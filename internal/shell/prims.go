@@ -203,15 +203,18 @@ func (sh *Shell) GetSpace(task, port int, n uint32) bool {
 	if n > r.granted {
 		ext := r.granted
 		r.granted = n
+		r.moveWindow()
 		if r.input {
 			// Invalidate the window extension in the read cache and
-			// cancel any stale prefetch still in flight there.
+			// cancel any stale prefetch still in flight there (its data
+			// may predate the producer's flush; the generation token
+			// makes its completion drop the buffer unmerged).
 			segs, cnt := r.segments(ext, n-ext)
 			for i := 0; i < cnt; i++ {
 				lo, hi := segs[i].addr, segs[i].addr+segs[i].n
 				sh.rcache.invalidateRange(lo, hi)
 				for a := sh.rcache.lineAddr(lo); a < hi; a += uint32(sh.cfg.LineBytes) {
-					delete(sh.inflight, a)
+					sh.inflight.remove(a)
 				}
 			}
 			if sh.cfg.PrefetchDepth > 0 {
@@ -243,21 +246,28 @@ func (sh *Shell) PutSpace(task, port int, n uint32) {
 	flushes := 0
 	if !r.input && n > 0 {
 		segs, cnt := r.segments(0, n)
-		done := func() {
-			sh.fab.inflightMsgs--
-			sh.commitFlushed(r)
-		}
+		// Park the flush target for the pre-bound issueFlush callback
+		// (see async.go); flushOverlapping is synchronous, so the parked
+		// state cannot be observed across PutSpace calls.
+		sh.flushRow = r
 		for i := 0; i < cnt; i++ {
-			flushes += sh.wcache.flushOverlapping(sh.fab.MemFor(segs[i].addr), segs[i].addr, segs[i].addr+segs[i].n, done)
+			sh.flushMem = sh.fab.MemFor(segs[i].addr)
+			flushes += sh.wcache.flushOverlapping(segs[i].addr, segs[i].addr+segs[i].n, sh.issueFlushFn)
 		}
+		sh.flushRow, sh.flushMem = nil, nil
 		sh.fab.inflightMsgs += flushes
 	}
 
 	// Advance the access point and reduce local space.
 	r.point = (r.point + n) % r.size
 	r.granted -= n
+	r.moveWindow()
 	for i := range r.credit {
 		r.credit[i] -= n
+	}
+	if r.commitHead > 0 && r.commitHead == len(r.commits) {
+		r.commits = r.commits[:0]
+		r.commitHead = 0
 	}
 	r.commits = append(r.commits, pendingCommit{bytes: n, flushesLeft: flushes})
 	sh.drainCommits(r)
@@ -267,7 +277,7 @@ func (sh *Shell) PutSpace(task, port int, n uint32) {
 // commit that still waits on flushes, then sends any newly released
 // putspace messages (strictly in commit order).
 func (sh *Shell) commitFlushed(r *streamRow) {
-	for i := range r.commits {
+	for i := r.commitHead; i < len(r.commits); i++ {
 		if r.commits[i].flushesLeft > 0 {
 			r.commits[i].flushesLeft--
 			break
@@ -279,21 +289,23 @@ func (sh *Shell) commitFlushed(r *streamRow) {
 // drainCommits sends putspace messages for every leading commit whose
 // flushes have completed.
 func (sh *Shell) drainCommits(r *streamRow) {
-	for len(r.commits) > 0 && r.commits[0].flushesLeft == 0 {
-		n := r.commits[0].bytes
-		r.commits = r.commits[1:]
+	for r.commitHead < len(r.commits) && r.commits[r.commitHead].flushesLeft == 0 {
+		n := r.commits[r.commitHead].bytes
+		r.commitHead++
 		if n == 0 {
 			continue
 		}
 		for _, rem := range r.remotes {
-			rem := rem
 			r.stats.MsgsSent++
 			sh.fab.inflightMsgs++
-			sh.k.Schedule(sh.cfg.MsgLatency, func() {
-				sh.fab.inflightMsgs--
-				rem.sh.recvPutSpace(rem.row, rem.slot, n)
-			})
+			m := sh.fab.newMsg()
+			m.dst, m.row, m.slot, m.n = rem.sh, rem.row, rem.slot, n
+			sh.k.Schedule(sh.cfg.MsgLatency, m.fire)
 		}
+	}
+	if r.commitHead > 0 && r.commitHead == len(r.commits) {
+		r.commits = r.commits[:0]
+		r.commitHead = 0
 	}
 }
 
@@ -317,7 +329,7 @@ func (sh *Shell) recvPutSpace(row, slot int, n uint32) {
 	// runnable). Then re-check for a stall this message failed to
 	// resolve, after the wakeups have settled.
 	sh.blocked = false
-	sh.k.Schedule(0, sh.fab.checkStalled)
+	sh.k.Schedule(0, sh.fab.checkStalledFn)
 }
 
 // ---------------------------------------------------------------------
@@ -348,7 +360,7 @@ func (sh *Shell) Read(task, port int, offset uint32, buf []byte) {
 	if Paranoid {
 		got = 0
 		for i := 0; i < cnt; i++ {
-			truth := make([]byte, segs[i].n)
+			truth := sh.truthBuf(int(segs[i].n))
 			sh.fab.MemFor(segs[i].addr).Peek(segs[i].addr, truth)
 			for j := range truth {
 				if truth[j] != buf[got+j] {
@@ -364,12 +376,23 @@ func (sh *Shell) Read(task, port int, offset uint32, buf []byte) {
 	}
 }
 
+// truthBuf returns the reusable Paranoid comparison buffer, grown to at
+// least n bytes. Read is not reentrant per shell, so one buffer suffices.
+func (sh *Shell) truthBuf(n int) []byte {
+	if cap(sh.truth) < n {
+		sh.truth = make([]byte, n)
+	}
+	return sh.truth[:n]
+}
+
 // mergeWindow installs fetched line data, marking valid exactly the bytes
 // inside the row's current granted window (bytes outside the window may
-// have been fetched mid-update by the producer).
+// have been fetched mid-update by the producer). The window segments come
+// from the row's cached snapshot: they change only on GetSpace/PutSpace,
+// while this merge runs once per fetched line.
 func (sh *Shell) mergeWindow(r *streamRow, base uint32, data []byte) *cacheLine {
 	line := uint32(len(data))
-	wsegs, wcnt := r.segments(0, r.granted)
+	wsegs, wcnt := r.windowSegs()
 	var ln *cacheLine
 	merged := false
 	for i := 0; i < wcnt; i++ {
@@ -410,17 +433,27 @@ func (sh *Shell) readSeg(r *streamRow, s seg, buf []byte) {
 		if ln == nil || !ln.covers(addr-base, addr-base+inLine) {
 			// Miss: fetch the whole line over the read bus (blocking).
 			sh.rcache.misses++
-			delete(sh.inflight, base)
+			if sh.inflight.contains(base) {
+				sh.demandOverl++
+			}
 			m := sh.fab.MemFor(base)
 			end := base + line
 			if int(end) > m.Size() {
 				end = uint32(m.Size())
 			}
-			tmp := make([]byte, end-base)
+			tmp := sh.pool.get(int(end - base))
 			m.ReadAccess(sh.proc, base, tmp)
+			// Cancel any prefetch still in flight for this line only now,
+			// after the blocking fetch completed: a prefetch completion
+			// firing while we were blocked merged with its own (still
+			// valid) token and removed itself, and cancelling before the
+			// fetch would let a later re-registered prefetch generation
+			// alias this address and double-merge a stale pooled buffer.
+			sh.inflight.remove(base)
 			sh.rcache.evict(addr, nil)
 			ln = sh.mergeWindow(r, base, tmp)
 			copy(buf[:inLine], ln.data[addr-base:addr-base+inLine])
+			sh.pool.put(tmp)
 		} else {
 			sh.rcache.hits++
 			// Latch the data before charging the access time: while the
@@ -454,8 +487,7 @@ func (sh *Shell) prefetch(r *streamRow, from, span uint32) {
 		lo := sh.rcache.lineAddr(segs[i].addr)
 		hi := segs[i].addr + segs[i].n
 		for a := lo; a < hi; a += line {
-			a := a
-			if sh.inflight[a] {
+			if sh.inflight.contains(a) {
 				continue
 			}
 			if ln := sh.rcache.lookup(a); ln != nil && ln.covers(0, line) {
@@ -466,16 +498,15 @@ func (sh *Shell) prefetch(r *streamRow, from, span uint32) {
 			if int(end) > m.Size() {
 				end = uint32(m.Size())
 			}
-			sh.inflight[a] = true
-			tmp := make([]byte, end-a)
-			m.ReadAsync(a, tmp, func() {
-				if !sh.inflight[a] {
-					return // superseded by a demand fetch
-				}
-				delete(sh.inflight, a)
-				sh.rcache.evict(a, nil)
-				sh.mergeWindow(r, a, tmp)
-			})
+			// Book the transfer with a pooled, pre-bound fetch request:
+			// fr.complete Peeks the bytes at the modeled completion cycle
+			// and merges them iff generation tok is still wanted.
+			fr := sh.newFetch()
+			fr.r, fr.m, fr.addr = r, m, a
+			fr.tok = sh.inflight.add(a)
+			fr.buf = sh.pool.get(int(end - a))
+			sh.prefIssued++
+			m.ScheduleRead(a, len(fr.buf), fr.fire)
 		}
 	}
 }
@@ -527,16 +558,12 @@ func (sh *Shell) writeSeg(s seg, data []byte) {
 			ln = sh.wcache.slot(addr)
 			ln.valid = true
 			ln.tag = base
-			for j := range ln.dirty {
-				ln.dirty[j] = false
-			}
+			maskClear(ln.mask)
 		}
 		sh.proc.Delay(sh.cfg.AccessCycles)
 		off := addr - base
 		copy(ln.data[off:off+inLine], data[:inLine])
-		for j := off; j < off+inLine; j++ {
-			ln.dirty[j] = true
-		}
+		ln.markDirty(off, off+inLine)
 		data = data[inLine:]
 		addr += inLine
 		remaining -= inLine

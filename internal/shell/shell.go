@@ -121,7 +121,18 @@ type streamRow struct {
 	deniedActive bool
 	denied       uint32 // byte count of the last denied GetSpace
 
-	commits []pendingCommit
+	// commits is a head-indexed queue: entries [commitHead:] are pending,
+	// the storage before commitHead is dead and reclaimed by resetting
+	// both once the queue drains (so steady state never reallocates).
+	commits    []pendingCommit
+	commitHead int
+
+	// Cached snapshot of segments(0, granted): the window segments are
+	// recomputed only after GetSpace/PutSpace move the window, not on
+	// every fetch-completion merge (see mergeWindow).
+	wsegs  [2]seg
+	wcnt   int
+	wvalid bool
 
 	stats StreamStats
 }
@@ -142,6 +153,22 @@ type seg struct {
 	addr uint32
 	n    uint32
 }
+
+// windowSegs returns the absolute memory segments of the whole granted
+// window, from the cached snapshot when it is still valid. The snapshot
+// is invalidated by moveWindow whenever GetSpace or PutSpace changes the
+// window, which is far rarer than the per-line merges that consume it.
+func (r *streamRow) windowSegs() ([2]seg, int) {
+	if !r.wvalid {
+		r.wsegs, r.wcnt = r.segments(0, r.granted)
+		r.wvalid = true
+	}
+	return r.wsegs, r.wcnt
+}
+
+// moveWindow invalidates the cached window-segment snapshot; it must be
+// called whenever point or granted changes.
+func (r *streamRow) moveWindow() { r.wvalid = false }
 
 // segments maps the window region [off, off+n) (relative to the committed
 // point) onto at most two absolute memory segments of the cyclic buffer.
@@ -223,8 +250,28 @@ type Shell struct {
 
 	rcache *cache
 	wcache *cache
-	// inflight prefetches by absolute line address; invalidation cancels.
-	inflight map[uint32]bool
+	// inflight tracks pending line fetches by absolute line address with
+	// generation tokens; invalidation and demand fetches cancel entries.
+	inflight *inflightSet
+	// pool recycles line-sized scratch buffers across demand fetches,
+	// prefetches, flushes, and the Paranoid truth check.
+	pool *bufPool
+	// truth is the reusable Paranoid comparison buffer.
+	truth []byte
+
+	// Free lists of pre-bound asynchronous request objects (async.go).
+	fetchPool []*fetchReq
+	flushPool []*flushReq
+
+	// Transport-layer counters (see TransportStats).
+	prefIssued  uint64
+	prefDropped uint64
+	demandOverl uint64
+	// flushRow/flushMem park the PutSpace flush target for issueFlushFn,
+	// the pre-bound flushOverlapping callback.
+	flushRow    *streamRow
+	flushMem    *mem.Memory
+	issueFlushFn func(addr uint32, data []byte)
 
 	proc *sim.Proc
 	wake *sim.Signal
@@ -259,6 +306,9 @@ type Fabric struct {
 
 	inflightMsgs int // scheduled putspace deliveries + pending flushes
 
+	msgPool        []*psMsg // recycled putspace messages (async.go)
+	checkStalledFn func()   // pre-bound checkStalled, avoids method-value allocs
+
 	distributed bool
 	bankCfg     mem.Config
 	regions     []region // address-space map: which memory serves an address
@@ -273,7 +323,9 @@ type region struct {
 // NewFabric creates an empty fabric over the given kernel and stream
 // memory.
 func NewFabric(k *sim.Kernel, sram *mem.Memory) *Fabric {
-	return &Fabric{K: k, SRAM: sram}
+	f := &Fabric{K: k, SRAM: sram}
+	f.checkStalledFn = f.checkStalled
+	return f
 }
 
 // EnableDistributed switches the fabric to distributed stream memories:
@@ -319,10 +371,12 @@ func (f *Fabric) NewShell(cfg Config) *Shell {
 		fab:      f,
 		rcache:   newCache(cfg.ReadCacheLines, cfg.LineBytes, false),
 		wcache:   newCache(cfg.WriteCacheLines, cfg.LineBytes, true),
-		inflight: map[uint32]bool{},
+		inflight: newInflightSet(),
+		pool:     newBufPool(cfg.LineBytes),
 		wake:     f.K.NewSignal(cfg.Name + ".wake"),
 		current:  NoTask,
 	}
+	sh.issueFlushFn = sh.issueFlush
 	f.shells = append(f.shells, sh)
 	return sh
 }
@@ -474,6 +528,33 @@ func (sh *Shell) ReadCacheStats() CacheStats { return sh.rcache.stats() }
 
 // WriteCacheStats returns the write cache counters.
 func (sh *Shell) WriteCacheStats() CacheStats { return sh.wcache.stats() }
+
+// PoolStats returns the scratch-buffer pool counters of the transport
+// layer (how often line moves recycled a buffer vs. allocated one).
+func (sh *Shell) PoolStats() PoolStats { return sh.pool.stats() }
+
+// InflightFetches returns the number of line fetches currently pending.
+func (sh *Shell) InflightFetches() int { return sh.inflight.Len() }
+
+// TransportStats are the asynchronous data-transport counters of a shell:
+// how the prefetch engine, the demand-miss path, and the scratch-buffer
+// pool interacted over the run.
+type TransportStats struct {
+	PrefetchesIssued    uint64 // asynchronous line fetches booked
+	PrefetchesDropped   uint64 // completions cancelled/superseded before merge
+	DemandWhileInflight uint64 // demand misses that overlapped a pending prefetch
+	Pool                PoolStats
+}
+
+// TransportStats returns a snapshot of the transport counters.
+func (sh *Shell) TransportStats() TransportStats {
+	return TransportStats{
+		PrefetchesIssued:    sh.prefIssued,
+		PrefetchesDropped:   sh.prefDropped,
+		DemandWhileInflight: sh.demandOverl,
+		Pool:                sh.pool.stats(),
+	}
+}
 
 // IdleCycles returns cycles the coprocessor spent with no runnable task.
 func (sh *Shell) IdleCycles() uint64 { return sh.idle }

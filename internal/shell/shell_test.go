@@ -611,6 +611,99 @@ func TestRandomOffsetAccessWithinWindow(t *testing.T) {
 	checkPattern(t, got[:], 64)
 }
 
+func TestDemandFetchPrefetchAliasing(t *testing.T) {
+	// Regression test for the demand-miss/prefetch aliasing race. A slow
+	// memory keeps prefetched line fetches in flight long enough that the
+	// consumer's next demand miss overlaps a pending prefetch of the very
+	// same line. The demand path must cancel the pending prefetch only
+	// AFTER its own blocking fetch completes: cancelling first would let
+	// a newer prefetch re-register the line while the coprocessor is
+	// blocked, and the earlier (stale) completion could then merge
+	// recycled buffer contents over fresh data. Paranoid compares every
+	// Read against ground truth, so any stale merge fails loudly.
+	old := Paranoid
+	Paranoid = true
+	defer func() { Paranoid = old }()
+
+	slow := mem.Fig8SRAM()
+	slow.ReadLatency = 300 // line fetches stay in flight across many reads
+
+	k := sim.NewKernel()
+	f := NewFabric(k, mem.New(k, slow))
+	pCfg, cCfg := DefaultConfig("p"), DefaultConfig("c")
+	cCfg.PrefetchDepth = 4
+	cCfg.ReadCacheLines = 32
+	pSh := f.NewShell(pCfg)
+	cSh := f.NewShell(cCfg)
+	pT := pSh.AddTask("prod", 0, 0)
+	cT := cSh.AddTask("cons", 0, 0)
+	if err := f.Connect(Endpoint{pSh, pT, 0}, []Endpoint{{cSh, cT, 0}}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	const total = 8192
+	k.NewProc("prod", 0, func(p *sim.Proc) {
+		pSh.Bind(p)
+		sent := 0
+		for sent < total {
+			task, _, ok := pSh.GetTask()
+			if !ok {
+				return
+			}
+			if !pSh.GetSpace(task, 0, 256) {
+				continue
+			}
+			data := make([]byte, 256)
+			for i := range data {
+				data[i] = pattern(sent + i)
+			}
+			pSh.Write(task, 0, 0, data)
+			pSh.PutSpace(task, 0, 256)
+			sent += 256
+		}
+		pSh.TaskDone(pT)
+		pSh.GetTask()
+	})
+	var got bytes.Buffer
+	k.NewProc("cons", 0, func(p *sim.Proc) {
+		cSh.Bind(p)
+		rcv := 0
+		for rcv < total {
+			task, _, ok := cSh.GetTask()
+			if !ok {
+				return
+			}
+			if !cSh.GetSpace(task, 0, 256) {
+				continue
+			}
+			// Back-to-back line-sized reads with no compute gap: each
+			// miss overlaps the prefetches issued by the previous read.
+			buf := make([]byte, 16)
+			for off := uint32(0); off < 256; off += 16 {
+				cSh.Read(task, 0, off, buf)
+				got.Write(buf)
+			}
+			cSh.PutSpace(task, 0, 256)
+			rcv += 256
+		}
+		cSh.TaskDone(cT)
+		cSh.GetTask()
+	})
+	if err := k.Run(100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkPattern(t, got.Bytes(), total)
+	ts := cSh.TransportStats()
+	if ts.PrefetchesIssued == 0 {
+		t.Fatalf("no prefetches issued: %+v", ts)
+	}
+	if ts.DemandWhileInflight == 0 {
+		t.Fatalf("scenario never overlapped a demand miss with an in-flight prefetch: %+v", ts)
+	}
+	if ts.Pool.Outstanding != 0 {
+		t.Fatalf("leaked %d scratch buffers: %+v", ts.Pool.Outstanding, ts)
+	}
+}
+
 func TestUtilizationBounds(t *testing.T) {
 	r := newRig(t, 256, DefaultConfig("p"), DefaultConfig("c"))
 	r.produce(2048, 64, pattern)

@@ -26,14 +26,22 @@ func (s *System) WriteReport(w io.Writer) {
 	)
 	io.WriteString(w, viz.RenderBars(bars))
 
-	fmt.Fprintf(w, "\ncaches (read hits/misses, write flushes):\n")
+	fmt.Fprintf(w, "\ncaches:\n")
+	fmt.Fprintf(w, "  %-5s %22s %8s %8s %10s %10s %9s\n",
+		"", "read hits/misses", "hit-rate", "invalid", "wr-flushes", "evictions", "prefetch")
 	names := s.CoproNames()
 	sort.Strings(names)
 	for _, n := range names {
 		sh := s.Shell(n)
 		r, wr := sh.ReadCacheStats(), sh.WriteCacheStats()
-		fmt.Fprintf(w, "  %-5s read %8d/%-8d  write flushes %8d evictions %d\n",
-			n, r.Hits, r.Misses, wr.Flushes, wr.Evictions)
+		ts := sh.TransportStats()
+		pref := "-"
+		if ts.PrefetchesIssued > 0 {
+			pref = fmt.Sprintf("%d/%d", ts.PrefetchesIssued-ts.PrefetchesDropped, ts.PrefetchesIssued)
+		}
+		fmt.Fprintf(w, "  %-5s %12d/%-9d %7.1f%% %8d %10d %10d %9s\n",
+			n, r.Hits, r.Misses, r.HitRate()*100, r.Invalidations,
+			wr.Flushes, r.Evictions+wr.Evictions, pref)
 	}
 
 	fmt.Fprintf(w, "\n== application view ==\n\n")
