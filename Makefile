@@ -7,8 +7,10 @@
 #                runners (guards that no *sim.Kernel is ever shared
 #                across sweep worker goroutines)
 #   make bench   paper-experiment benchmarks with allocation stats
-#   make perf    refresh the BENCH_kernel.json engine-speed and
-#                shell-transport trajectories
+#   make bench-media  media kernel microbenchmarks (bit I/O, VLC, SAD,
+#                     DCT, full encode) with allocation stats
+#   make perf    refresh the BENCH_kernel.json engine-speed,
+#                shell-transport, and media-kernel trajectories
 #
 #   make bench-baseline   save the current benchmark results as the
 #                         comparison baseline (bench-baseline.txt)
@@ -20,7 +22,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check vet build test race bench perf bench-baseline benchcmp
+.PHONY: check vet build test race bench bench-media perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -36,13 +38,18 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/kpn
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
+	$(GO) test -race -run 'Encode|Golden' ./internal/media
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
+bench-media:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/media
+
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel
 	$(GO) run ./cmd/eclipse-bench shell
+	$(GO) run ./cmd/eclipse-bench media
 
 bench-baseline:
 	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)

@@ -50,6 +50,17 @@ type kernelBenchEntry struct {
 	ShellAllocsPerKB  float64 `json:"shell_allocs_per_kib,omitempty"`
 	ShellReadHitRate  float64 `json:"shell_read_hit_rate,omitempty"`
 	ShellWriteHitRate float64 `json:"shell_write_hit_rate,omitempty"`
+
+	// Media kernel microbenchmarks (`eclipse-bench media`): wall-clock
+	// throughput of the functional codec kernels outside the cycle
+	// simulator, tracking the fast-kernels rework. "MB" is macroblocks.
+	MediaVLDMBPerS      float64 `json:"media_vld_mb_per_sec,omitempty"`
+	MediaVLDMiBPerS     float64 `json:"media_vld_mib_per_sec,omitempty"`
+	MediaVLDAllocs      float64 `json:"media_vld_allocs_per_run,omitempty"`
+	MediaSADMevalsPerS  float64 `json:"media_sad_mevals_per_sec,omitempty"`
+	MediaIDCTBlocksPerS float64 `json:"media_idct_blocks_per_sec,omitempty"`
+	MediaEncodeMBPerS   float64 `json:"media_encode_mb_per_sec,omitempty"`
+	MediaEncodeWorkers  int     `json:"media_encode_workers,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.
@@ -85,17 +96,39 @@ func kernelBench() {
 		entry.KernelMeventsPerS, entry.KernelStressEvents, entry.KernelAllocsPerOp)
 
 	doc := loadKernelBench(path)
-	replaced := false
+	e := benchEntry(&doc, entry.ID)
+	// Merge: only the decode_*/kernel_* fields belong to this subcommand;
+	// shell_*/media_* results recorded under the same ID are preserved.
+	e.Date = entry.Date
+	e.DecodeNsPerOp = entry.DecodeNsPerOp
+	e.DecodeAllocsPerOp = entry.DecodeAllocsPerOp
+	e.DecodeBytesPerOp = entry.DecodeBytesPerOp
+	e.DecodeSimCycles = entry.DecodeSimCycles
+	e.DecodeEvents = entry.DecodeEvents
+	e.DecodeMeventsPerS = entry.DecodeMeventsPerS
+	e.KernelMeventsPerS = entry.KernelMeventsPerS
+	e.KernelAllocsPerOp = entry.KernelAllocsPerOp
+	e.KernelStressEvents = entry.KernelStressEvents
+	saveKernelBench(path, &doc)
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", entry.ID, len(doc.Entries))
+}
+
+// benchEntry returns a pointer to the entry with the given ID, appending
+// a fresh one if absent. The pointer stays valid until the next append.
+func benchEntry(doc *kernelBenchFile, id string) *kernelBenchEntry {
 	for i := range doc.Entries {
-		if doc.Entries[i].ID == entry.ID {
-			doc.Entries[i] = entry
-			replaced = true
-			break
+		if doc.Entries[i].ID == id {
+			return &doc.Entries[i]
 		}
 	}
-	if !replaced {
-		doc.Entries = append(doc.Entries, entry)
-	}
+	doc.Entries = append(doc.Entries, kernelBenchEntry{
+		ID: id, Date: time.Now().Format("2006-01-02"),
+	})
+	return &doc.Entries[len(doc.Entries)-1]
+}
+
+// saveKernelBench rewrites the trajectory file with a fresh timestamp.
+func saveKernelBench(path string, doc *kernelBenchFile) {
 	doc.Updated = time.Now().UTC().Format(time.RFC3339)
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -104,14 +137,13 @@ func kernelBench() {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("  wrote entry %q (%d entries total)\n\n", entry.ID, len(doc.Entries))
 }
 
 // loadKernelBench reads an existing trajectory file, or starts a new one.
 func loadKernelBench(path string) kernelBenchFile {
 	doc := kernelBenchFile{
 		Benchmark: "eclipse simulation-engine speed",
-		Schema:    "entries[]: {id, date, decode_* from the Fig10 QCIF workload, kernel_* from the pure-event stress, shell_* from the transport stress}",
+		Schema:    "entries[]: {id, date, decode_* from the Fig10 QCIF workload, kernel_* from the pure-event stress, shell_* from the transport stress, media_* from the codec kernel microbench}",
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -16,7 +16,8 @@
 //	pipelined   Section 7 follow-up: pipelined DCT ablation
 //	kernel      engine wall-clock speed; updates BENCH_kernel.json
 //	shell       shell-transport wall-clock speed; updates BENCH_kernel.json
-//	all         everything above except kernel (which writes a file)
+//	media       codec-kernel wall-clock speed; updates BENCH_kernel.json
+//	all         everything above except the BENCH_kernel.json writers
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		"memorg":     memorg,
 		"kernel":     kernelBench,
 		"shell":      shellBench,
+		"media":      mediaBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

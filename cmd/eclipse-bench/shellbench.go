@@ -8,7 +8,6 @@ package main
 // transport trajectory lives alongside the engine trajectory.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -138,32 +137,12 @@ func shellBench() {
 		best.readHit*100, best.writeHit*100)
 
 	doc := loadKernelBench(path)
-	idx := -1
-	for i := range doc.Entries {
-		if doc.Entries[i].ID == id {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		doc.Entries = append(doc.Entries, kernelBenchEntry{
-			ID: id, Date: time.Now().Format("2006-01-02"),
-		})
-		idx = len(doc.Entries) - 1
-	}
-	e := &doc.Entries[idx]
+	e := benchEntry(&doc, id)
 	e.ShellNsPerKB = nsPerKB
 	e.ShellMBPerS = mbPerS
 	e.ShellAllocsPerKB = allocsPerKB
 	e.ShellReadHitRate = best.readHit
 	e.ShellWriteHitRate = best.writeHit
-	doc.Updated = time.Now().UTC().Format(time.RFC3339)
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
-		fail(err)
-	}
+	saveKernelBench(path, &doc)
 	fmt.Printf("  merged shell_* fields into entry %q (%d entries total)\n\n", id, len(doc.Entries))
 }

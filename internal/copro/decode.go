@@ -30,6 +30,7 @@ type BitSource struct {
 	sent       int
 	StartDelay uint64 // cycles to wait before the first chunk (arrival model)
 	started    bool
+	scratch    []byte // reused chunk staging buffer
 }
 
 // Step transfers one chunk per processing step.
@@ -53,7 +54,8 @@ func (b *BitSource) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(0, uint32(n)) {
 		return false
 	}
-	buf := make([]byte, n)
+	b.scratch = growBytes(b.scratch, n)
+	buf := b.scratch[:n]
 	b.DRAM.ReadAccess(c.Proc(), b.Addr+uint32(b.sent), buf)
 	c.Compute(b.Costs.SWChunk)
 	c.Write(0, 0, buf)
@@ -76,6 +78,13 @@ type VLD struct {
 	pendHdr  []byte
 	pendCost uint64
 	srcDone  bool // the input stream carries exactly the whole sequence
+
+	// Reused backing storage: pendTok/pendHdr are rebuilt into these
+	// after every flush, and inBuf stages input transfers (the parser
+	// copies extended bytes, so the staging buffer is reusable).
+	tokBuf []byte
+	hdrBuf []byte
+	inBuf  []byte
 }
 
 const (
@@ -113,14 +122,16 @@ func (v *VLD) Step(c *coproc.Ctx) bool {
 		v.commitInput(c)
 		c.Compute(4)
 	case media.EventFrame:
-		v.pendTok = media.AppendFrameRec(nil, media.FrameRecTok, ev.Frame)
-		v.pendHdr = media.AppendFrameRec(nil, media.FrameRecHdr, ev.Frame)
+		v.tokBuf = media.AppendFrameRec(v.tokBuf[:0], media.FrameRecTok, ev.Frame)
+		v.hdrBuf = media.AppendFrameRec(v.hdrBuf[:0], media.FrameRecHdr, ev.Frame)
+		v.pendTok, v.pendHdr = v.tokBuf, v.hdrBuf
 		v.pendCost = 4
 		v.commitInput(c)
 		v.flushPending(c)
 	case media.EventMB:
-		v.pendTok = media.AppendTokenMB(nil, &ev.Tok)
-		v.pendHdr = media.AppendMBHeader(nil, ev.MB)
+		v.tokBuf = media.AppendTokenMB(v.tokBuf[:0], &ev.Tok)
+		v.hdrBuf = media.AppendMBHeader(v.hdrBuf[:0], ev.MB)
+		v.pendTok, v.pendHdr = v.tokBuf, v.hdrBuf
 		v.pendCost = v.Costs.VLDCost(ev.Bits)
 		v.commitInput(c)
 		v.flushPending(c)
@@ -142,7 +153,8 @@ func (v *VLD) fetchInput(c *coproc.Ctx) bool {
 			return false // abort step; scheduler re-dispatches when data arrives
 		}
 	}
-	buf := make([]byte, n)
+	v.inBuf = growBytes(v.inBuf, int(n))
+	buf := v.inBuf
 	c.Read(vldPortIn, 0, buf)
 	v.parser.Extend(buf)
 	c.PutSpace(vldPortIn, n)
@@ -199,6 +211,11 @@ type RLSQ struct {
 	inFrame bool
 	mbIdx   int
 	frames  int
+
+	rec    []byte        // reused token-record staging buffer
+	tok    media.TokenMB // reused token (event arena)
+	outBuf []byte        // reused serialized coefficient record
+	frameB [media.FrameRecSize]byte
 }
 
 const (
@@ -212,7 +229,7 @@ func (r *RLSQ) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(rlsqPortIn, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
+		buf := r.frameB[:]
 		c.Read(rlsqPortIn, 0, buf)
 		if _, err := media.ParseFrameRec(buf, media.FrameRecTok); err != nil {
 			panic("rlsq: " + err.Error())
@@ -239,12 +256,14 @@ func (r *RLSQ) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(rlsqPortIn, total) {
 		return false // re-execute: length will be re-read
 	}
-	rec := make([]byte, total)
+	r.rec = growBytes(r.rec, int(total))
+	rec := r.rec
 	c.Read(rlsqPortIn, 0, rec)
-	tok, n, err := media.ParseTokenMB(rec)
+	n, err := media.ParseTokenMBInto(rec, &r.tok)
 	if err != nil || uint32(n) != total {
 		panic(fmt.Sprintf("rlsq: bad token record: %v", err))
 	}
+	tok := &r.tok
 	pos := total
 	tokens := tok.TokenCount()
 	codedBlocks := 0
@@ -259,12 +278,12 @@ func (r *RLSQ) Step(c *coproc.Ctx) bool {
 		return false
 	}
 	var coef [media.BlocksPerMB]media.Block
-	if err := media.RLSQDecodeMB(&tok, r.Seq.Q, &coef); err != nil {
+	if err := media.RLSQDecodeMB(tok, r.Seq.Q, &coef); err != nil {
 		panic("rlsq: " + err.Error())
 	}
 	c.Compute(r.Costs.RLSQCost(tokens, codedBlocks))
-	out := media.AppendMBBlocks(nil, &coef)
-	c.Write(rlsqPortOut, 0, out)
+	r.outBuf = media.AppendMBBlocks(r.outBuf[:0], &coef)
+	c.Write(rlsqPortOut, 0, r.outBuf)
 	c.PutSpace(rlsqPortOut, media.MBCoefBytes)
 	c.PutSpace(rlsqPortIn, pos)
 
@@ -283,6 +302,9 @@ type IDCT struct {
 	Costs  *Costs
 	Blocks int // total blocks to process (frames × MBs × 4)
 	done   int
+
+	inBuf  [media.BlockBytes]byte // reused block staging buffers
+	outBuf []byte
 }
 
 const (
@@ -298,7 +320,7 @@ func (d *IDCT) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(dctPortOut, media.BlockBytes) {
 		return false
 	}
-	buf := make([]byte, media.BlockBytes)
+	buf := d.inBuf[:]
 	c.Read(dctPortIn, 0, buf)
 	var in, out media.Block
 	if err := media.ParseBlock(buf, &in); err != nil {
@@ -306,7 +328,8 @@ func (d *IDCT) Step(c *coproc.Ctx) bool {
 	}
 	media.IDCT(&in, &out)
 	c.Compute(d.Costs.DCTCost())
-	c.Write(dctPortOut, 0, media.AppendBlock(nil, &out))
+	d.outBuf = media.AppendBlock(d.outBuf[:0], &out)
+	c.Write(dctPortOut, 0, d.outBuf)
 	c.PutSpace(dctPortOut, media.BlockBytes)
 	c.PutSpace(dctPortIn, media.BlockBytes)
 	d.done++
@@ -327,6 +350,10 @@ type MC struct {
 	cur     *media.Frame
 	mbIdx   int
 	frames  int
+
+	hdrB   [media.MBHeaderSize]byte // reused header staging buffer
+	residB [media.MBCoefBytes]byte  // reused residual staging buffer
+	frameB [media.FrameRecSize]byte
 }
 
 const (
@@ -341,7 +368,7 @@ func (m *MC) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(mcPortHdr, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
+		buf := m.frameB[:]
 		c.Read(mcPortHdr, 0, buf)
 		hdr, err := media.ParseFrameRec(buf, media.FrameRecHdr)
 		if err != nil {
@@ -365,13 +392,13 @@ func (m *MC) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(mcPortPix, media.MBPixBytes) {
 		return false
 	}
-	hbuf := make([]byte, media.MBHeaderSize)
+	hbuf := m.hdrB[:]
 	c.Read(mcPortHdr, 0, hbuf)
 	dec, err := media.ParseMBHeader(hbuf)
 	if err != nil {
 		panic("mc: " + err.Error())
 	}
-	rbuf := make([]byte, media.MBCoefBytes)
+	rbuf := m.residB[:]
 	c.Read(mcPortResid, 0, rbuf)
 	var resid [media.BlocksPerMB]media.Block
 	if err := media.ParseMBBlocks(rbuf, &resid); err != nil {
@@ -464,7 +491,8 @@ func (s *Sink) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(sinkPortHdr, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
+		var frameB [media.FrameRecSize]byte
+		buf := frameB[:]
 		c.Read(sinkPortHdr, 0, buf)
 		hdr, err := media.ParseFrameRec(buf, media.FrameRecHdr)
 		if err != nil {

@@ -55,6 +55,8 @@ type RawStore struct {
 	dram   *mem.Memory
 	base   uint32
 	frames []*media.Frame
+
+	fetchFree []*fetchCtx // recycled FetchMB completion contexts
 }
 
 // NewRawStore registers raw frames at the given off-chip base address.
@@ -75,19 +77,12 @@ func (rs *RawStore) FetchMB(p *sim.Proc, frame, mbx, mby int, dst *media.MBPixel
 	f := rs.frames[frame]
 	f.GetMB(mbx, mby, dst)
 	addr := rs.base + uint32(frame*f.W*f.H+(mby*media.MBSize)*f.W+mbx*media.MBSize)
-	k := p.Kernel()
-	done := 0
-	sig := k.NewSignal("mefetch")
-	var row [media.MBSize]byte
+	fc := popFetchCtx(&rs.fetchFree, p, "mefetch")
 	for r := 0; r < media.MBSize; r++ {
-		rs.dram.ReadAsync(addr+uint32(r*f.W), row[:], func() {
-			done++
-			if done == media.MBSize {
-				sig.Fire()
-			}
-		})
+		rs.dram.ReadAsync(addr+uint32(r*f.W), fc.row[:], fc.cb)
 	}
-	p.Wait(sig)
+	p.Wait(fc.sig)
+	rs.fetchFree = append(rs.fetchFree, fc)
 }
 
 // ME is the motion-estimation task on the MC/ME coprocessor: it walks the
@@ -107,6 +102,8 @@ type ME struct {
 	mbIdx   int
 	inFrame bool
 	fbWait  int // feedback tokens still outstanding before the next frame
+
+	recBuf, hdrBuf []byte // reused record staging (the shell cache copies)
 }
 
 const (
@@ -139,7 +136,8 @@ func (m *ME) Step(c *coproc.Ctx) bool {
 			return true
 		}
 		di := m.order[m.frame]
-		rec := media.AppendFrameRec(nil, 0xFC, media.FrameHdr{Type: m.types[di], TRef: uint16(di)})
+		m.recBuf = media.AppendFrameRec(m.recBuf[:0], 0xFC, media.FrameHdr{Type: m.types[di], TRef: uint16(di)})
+		rec := m.recBuf
 		if !c.GetSpace(mePortInfo, uint32(len(rec))) {
 			return false
 		}
@@ -177,9 +175,11 @@ func (m *ME) Step(c *coproc.Ctx) bool {
 	media.Residual(&mb, &pred, &resid)
 	c.Compute(m.Costs.MCRecon) // residual datapath
 
-	c.Write(mePortResid, 0, media.AppendMBBlocks(nil, &resid))
+	m.recBuf = media.AppendMBBlocks(m.recBuf[:0], &resid)
+	c.Write(mePortResid, 0, m.recBuf)
 	c.PutSpace(mePortResid, media.MBCoefBytes)
-	c.Write(mePortInfo, 0, media.AppendMBHeader(nil, dec))
+	m.hdrBuf = media.AppendMBHeader(m.hdrBuf[:0], dec)
+	c.Write(mePortInfo, 0, m.hdrBuf)
 	c.PutSpace(mePortInfo, media.MBHeaderSize)
 
 	m.mbIdx++
@@ -197,6 +197,9 @@ type FDCT struct {
 	Costs  *Costs
 	Blocks int
 	done   int
+
+	inBuf  [media.BlockBytes]byte
+	outBuf []byte
 }
 
 // Step transforms one block.
@@ -207,15 +210,15 @@ func (d *FDCT) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(dctPortOut, media.BlockBytes) {
 		return false
 	}
-	buf := make([]byte, media.BlockBytes)
-	c.Read(dctPortIn, 0, buf)
+	c.Read(dctPortIn, 0, d.inBuf[:])
 	var in, out media.Block
-	if err := media.ParseBlock(buf, &in); err != nil {
+	if err := media.ParseBlock(d.inBuf[:], &in); err != nil {
 		panic("fdct: " + err.Error())
 	}
 	media.FDCT(&in, &out)
 	c.Compute(d.Costs.DCTCost())
-	c.Write(dctPortOut, 0, media.AppendBlock(nil, &out))
+	d.outBuf = media.AppendBlock(d.outBuf[:0], &out)
+	c.Write(dctPortOut, 0, d.outBuf)
 	c.PutSpace(dctPortOut, media.BlockBytes)
 	c.PutSpace(dctPortIn, media.BlockBytes)
 	d.done++
@@ -234,6 +237,15 @@ type Q struct {
 	ftype   media.FrameType
 	mbIdx   int
 	frames  int
+
+	// Reused per-step staging (the shell cache copies on Write, and
+	// mid-step GetSpace retries re-read and recompute deterministically).
+	frameB               [media.FrameRecSize]byte
+	hdrB                 [media.MBHeaderSize]byte
+	coefB                [media.MBCoefBytes]byte
+	tok                  media.TokenMB // event arena, reused across macroblocks
+	qz                   [media.BlocksPerMB]media.Block
+	tokRec, rqRec, qzRec []byte
 }
 
 const (
@@ -250,15 +262,15 @@ func (q *Q) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(qPortInfo, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
-		c.Read(qPortInfo, 0, buf)
-		hdr, err := media.ParseFrameRec(buf, 0xFC)
+		c.Read(qPortInfo, 0, q.frameB[:])
+		hdr, err := media.ParseFrameRec(q.frameB[:], 0xFC)
 		if err != nil {
 			panic("q: " + err.Error())
 		}
 		// Forward the frame boundary to the token and recon streams.
-		tokRec := media.AppendFrameRec(nil, media.FrameRecTok, hdr)
-		rqRec := media.AppendFrameRec(nil, media.FrameRecHdr, hdr)
+		q.tokRec = media.AppendFrameRec(q.tokRec[:0], media.FrameRecTok, hdr)
+		q.rqRec = media.AppendFrameRec(q.rqRec[:0], media.FrameRecHdr, hdr)
+		tokRec, rqRec := q.tokRec, q.rqRec
 		if !c.GetSpace(qPortTok, uint32(len(tokRec))) {
 			return false
 		}
@@ -283,41 +295,37 @@ func (q *Q) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(qPortCoef, media.MBCoefBytes) {
 		return false
 	}
-	hbuf := make([]byte, media.MBHeaderSize)
-	c.Read(qPortInfo, 0, hbuf)
-	dec, err := media.ParseMBHeader(hbuf)
+	c.Read(qPortInfo, 0, q.hdrB[:])
+	dec, err := media.ParseMBHeader(q.hdrB[:])
 	if err != nil {
 		panic("q: " + err.Error())
 	}
-	cbuf := make([]byte, media.MBCoefBytes)
-	c.Read(qPortCoef, 0, cbuf)
+	c.Read(qPortCoef, 0, q.coefB[:])
 	var coef [media.BlocksPerMB]media.Block
-	if err := media.ParseMBBlocks(cbuf, &coef); err != nil {
+	if err := media.ParseMBBlocks(q.coefB[:], &coef); err != nil {
 		panic("q: " + err.Error())
 	}
 
-	var tok media.TokenMB
-	var qz [media.BlocksPerMB]media.Block
+	tok := &q.tok
+	tok.Reset()
 	intra := dec.Mode == media.PredIntra
 	tokens := 0
 	for b := 0; b < media.BlocksPerMB; b++ {
-		qzz, events := media.RLSQEncodeBlock(&coef[b], intra, q.Seq.Q)
-		qz[b] = qzz
-		if len(events) > 0 {
+		q.qz[b] = media.RLSQEncodeBlockInto(&coef[b], intra, q.Seq.Q, tok, b)
+		if n := len(tok.Events[b]); n > 0 {
 			tok.CBP |= 1 << b
-			tok.Events[b] = events
-			tokens += len(events)
+			tokens += n
 		}
 	}
 	final := dec
 	if media.IsSkipMB(q.ftype, dec, tok.CBP) {
 		final = media.MBDecision{Mode: media.PredSkip}
-		tok = media.TokenMB{}
-		qz = [media.BlocksPerMB]media.Block{}
+		tok.Reset()
+		q.qz = [media.BlocksPerMB]media.Block{}
 	}
 
-	tokRec := media.AppendTokenMB(nil, &tok)
-	if !c.GetSpace(qPortTok, uint32(len(tokRec))) {
+	q.tokRec = media.AppendTokenMB(q.tokRec[:0], tok)
+	if !c.GetSpace(qPortTok, uint32(len(q.tokRec))) {
 		return false
 	}
 	if !c.GetSpace(qPortRq, RecInfoSize) {
@@ -327,11 +335,13 @@ func (q *Q) Step(c *coproc.Ctx) bool {
 		return false
 	}
 	c.Compute(q.Costs.RLSQCost(tokens, media.BlocksPerMB))
-	c.Write(qPortTok, 0, tokRec)
-	c.PutSpace(qPortTok, uint32(len(tokRec)))
-	c.Write(qPortRq, 0, appendRecInfo(nil, final, tok.CBP))
+	c.Write(qPortTok, 0, q.tokRec)
+	c.PutSpace(qPortTok, uint32(len(q.tokRec)))
+	q.rqRec = appendRecInfo(q.rqRec[:0], final, tok.CBP)
+	c.Write(qPortRq, 0, q.rqRec)
 	c.PutSpace(qPortRq, RecInfoSize)
-	c.Write(qPortQz, 0, media.AppendMBBlocks(nil, &qz))
+	q.qzRec = media.AppendMBBlocks(q.qzRec[:0], &q.qz)
+	c.Write(qPortQz, 0, q.qzRec)
 	c.PutSpace(qPortQz, media.MBCoefBytes)
 	c.PutSpace(qPortInfo, media.MBHeaderSize)
 	c.PutSpace(qPortCoef, media.MBCoefBytes)
@@ -352,6 +362,9 @@ type IQ struct {
 	QParam int
 	Blocks int
 	done   int
+
+	inBuf  [media.BlockBytes]byte
+	outBuf []byte
 }
 
 const (
@@ -367,16 +380,16 @@ func (d *IQ) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(iqPortOut, media.BlockBytes) {
 		return false
 	}
-	buf := make([]byte, media.BlockBytes)
-	c.Read(iqPortIn, 0, buf)
+	c.Read(iqPortIn, 0, d.inBuf[:])
 	var zz, dzz, out media.Block
-	if err := media.ParseBlock(buf, &zz); err != nil {
+	if err := media.ParseBlock(d.inBuf[:], &zz); err != nil {
 		panic("iq: " + err.Error())
 	}
 	media.Dequantize(&zz, &dzz, d.QParam)
 	media.InverseZigzag(&dzz, &out)
 	c.Compute(d.Costs.RLSQPerBlock * 2)
-	c.Write(iqPortOut, 0, media.AppendBlock(nil, &out))
+	d.outBuf = media.AppendBlock(d.outBuf[:0], &out)
+	c.Write(iqPortOut, 0, d.outBuf)
 	c.PutSpace(iqPortOut, media.BlockBytes)
 	c.PutSpace(iqPortIn, media.BlockBytes)
 	d.done++
@@ -396,6 +409,10 @@ type MCR struct {
 	cur     *media.Frame
 	mbIdx   int
 	frames  int
+
+	frameB [media.FrameRecSize]byte
+	rqB    [RecInfoSize]byte
+	residB [media.MBCoefBytes]byte
 }
 
 const (
@@ -410,9 +427,8 @@ func (m *MCR) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(mcrPortRq, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
-		c.Read(mcrPortRq, 0, buf)
-		hdr, err := media.ParseFrameRec(buf, media.FrameRecHdr)
+		c.Read(mcrPortRq, 0, m.frameB[:])
+		hdr, err := media.ParseFrameRec(m.frameB[:], media.FrameRecHdr)
 		if err != nil {
 			panic("mcr: " + err.Error())
 		}
@@ -431,16 +447,14 @@ func (m *MCR) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(mcrPortResid, media.MBCoefBytes) {
 		return false
 	}
-	rbuf := make([]byte, RecInfoSize)
-	c.Read(mcrPortRq, 0, rbuf)
-	dec, _, err := parseRecInfo(rbuf)
+	c.Read(mcrPortRq, 0, m.rqB[:])
+	dec, _, err := parseRecInfo(m.rqB[:])
 	if err != nil {
 		panic("mcr: " + err.Error())
 	}
-	dbuf := make([]byte, media.MBCoefBytes)
-	c.Read(mcrPortResid, 0, dbuf)
+	c.Read(mcrPortResid, 0, m.residB[:])
 	var resid [media.BlocksPerMB]media.Block
-	if err := media.ParseMBBlocks(dbuf, &resid); err != nil {
+	if err := media.ParseMBBlocks(m.residB[:], &resid); err != nil {
 		panic("mcr: " + err.Error())
 	}
 
@@ -502,6 +516,11 @@ type VLE struct {
 	mbIdx   int
 	frames  int
 	out     []byte
+
+	frameB [media.FrameRecSize]byte
+	hdrB   [media.MBHeaderSize]byte
+	rec    []byte
+	tok    media.TokenMB // reused across macroblocks (event arena)
 }
 
 const (
@@ -525,16 +544,15 @@ func (v *VLE) Step(c *coproc.Ctx) bool {
 		if !c.GetSpace(vlePortTok, media.FrameRecSize) {
 			return false
 		}
-		buf := make([]byte, media.FrameRecSize)
-		c.Read(vlePortInfo, 0, buf)
-		hdr, err := media.ParseFrameRec(buf, 0xFC)
+		c.Read(vlePortInfo, 0, v.frameB[:])
+		hdr, err := media.ParseFrameRec(v.frameB[:], 0xFC)
 		if err != nil {
 			panic("vle: " + err.Error())
 		}
-		// The token stream carries a matching frame boundary record.
-		tbuf := make([]byte, media.FrameRecSize)
-		c.Read(vlePortTok, 0, tbuf)
-		if _, err := media.ParseFrameRec(tbuf, media.FrameRecTok); err != nil {
+		// The token stream carries a matching frame boundary record
+		// (hdr is already a value copy, so the buffer can be reused).
+		c.Read(vlePortTok, 0, v.frameB[:])
+		if _, err := media.ParseFrameRec(v.frameB[:], media.FrameRecTok); err != nil {
 			panic("vle: " + err.Error())
 		}
 		c.PutSpace(vlePortInfo, media.FrameRecSize)
@@ -552,9 +570,8 @@ func (v *VLE) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(vlePortInfo, media.MBHeaderSize) {
 		return false
 	}
-	hbuf := make([]byte, media.MBHeaderSize)
-	c.Read(vlePortInfo, 0, hbuf)
-	dec, err := media.ParseMBHeader(hbuf)
+	c.Read(vlePortInfo, 0, v.hdrB[:])
+	dec, err := media.ParseMBHeader(v.hdrB[:])
 	if err != nil {
 		panic("vle: " + err.Error())
 	}
@@ -567,12 +584,12 @@ func (v *VLE) Step(c *coproc.Ctx) bool {
 	if !c.GetSpace(vlePortTok, pos) {
 		return false // re-execute the step (nothing committed)
 	}
-	rec := make([]byte, pos)
-	c.Read(vlePortTok, 0, rec)
-	tok, _, err := media.ParseTokenMB(rec)
-	if err != nil {
+	v.rec = growBytes(v.rec, int(pos))
+	c.Read(vlePortTok, 0, v.rec)
+	if _, err := media.ParseTokenMBInto(v.rec, &v.tok); err != nil {
 		panic("vle: " + err.Error())
 	}
+	tok := &v.tok
 
 	if v.mbIdx%v.Seq.MBCols == 0 {
 		v.mvp.RowStart()

@@ -21,6 +21,24 @@ type Framestore struct {
 	slots  [3]*media.Frame
 	slotOf map[*media.Frame]int
 	refs   media.RefChain
+	pool   *media.FramePool // recycles frames evicted from the slots
+
+	// fetchFree recycles prediction-fetch contexts (signal + completion
+	// closure + row buffer). FetchRegion blocks until its fetch
+	// completes, so a context is back on the free list before the same
+	// task can fetch again; the list only grows past one entry if
+	// several tasks share a framestore and overlap fetches.
+	fetchFree []*fetchCtx
+}
+
+// fetchCtx is the per-FetchRegion completion state, pooled so the
+// steady-state prediction path does not allocate a signal and sixteen
+// callback closures per macroblock.
+type fetchCtx struct {
+	sig  *sim.Signal
+	done int
+	cb   func()
+	row  [media.MBSize]byte
 }
 
 // NewFramestore reserves three frame slots in off-chip memory starting at
@@ -42,8 +60,10 @@ func (fs *Framestore) slotAddr(slot, x, y int) uint32 {
 // reusing the slot of the frame that just fell out of the reference
 // chain.
 func (fs *Framestore) BeginFrame() *media.Frame {
-	f := media.NewFrame(fs.w, fs.h)
-	used := map[int]bool{}
+	if fs.pool == nil {
+		fs.pool = media.NewFramePool()
+	}
+	var used [3]bool
 	if fs.refs.A != nil {
 		used[fs.slotOf[fs.refs.A]] = true
 	}
@@ -52,12 +72,15 @@ func (fs *Framestore) BeginFrame() *media.Frame {
 	}
 	for s := 0; s < 3; s++ {
 		if !used[s] {
-			// Reclaim the slot from whichever old frame held it.
+			// Reclaim the slot from whichever old frame held it; the
+			// evicted frame's pixel storage is recycled through the pool.
 			for old, os := range fs.slotOf {
 				if os == s {
 					delete(fs.slotOf, old)
+					fs.pool.Put(old)
 				}
 			}
+			f := fs.pool.Get(fs.w, fs.h)
 			fs.slotOf[f] = s
 			return f
 		}
@@ -97,19 +120,35 @@ func (fs *Framestore) FetchRegion(p *sim.Proc, f *media.Frame, x, y int) {
 		panic("copro: prediction fetch from an unstored frame")
 	}
 	cx, cy := clampRegion(x, fs.w), clampRegion(y, fs.h)
-	k := p.Kernel()
-	done := 0
-	sig := k.NewSignal("mcfetch")
-	var row [media.MBSize]byte
+	fc := popFetchCtx(&fs.fetchFree, p, "mcfetch")
 	for r := 0; r < media.MBSize; r++ {
-		fs.dram.ReadAsync(fs.slotAddr(slot, cx, cy+rowClamp(r, cy, fs.h)), row[:], func() {
-			done++
-			if done == media.MBSize {
-				sig.Fire()
-			}
-		})
+		fs.dram.ReadAsync(fs.slotAddr(slot, cx, cy+rowClamp(r, cy, fs.h)), fc.row[:], fc.cb)
 	}
-	p.Wait(sig)
+	p.Wait(fc.sig)
+	fs.fetchFree = append(fs.fetchFree, fc)
+}
+
+// popFetchCtx pops (or creates) a pooled fetch context with its signal
+// and completion closure pre-bound, and arms it for one 16-row fetch.
+// The free list is caller-owned so the framestore (prediction fetches)
+// and the raw store (ME input fetches) each keep their own pool.
+func popFetchCtx(free *[]*fetchCtx, p *sim.Proc, name string) *fetchCtx {
+	var fc *fetchCtx
+	if n := len(*free); n > 0 {
+		fc = (*free)[n-1]
+		(*free)[n-1] = nil
+		*free = (*free)[:n-1]
+	} else {
+		fc = &fetchCtx{sig: p.Kernel().NewSignal(name)}
+		fc.cb = func() {
+			fc.done++
+			if fc.done == media.MBSize {
+				fc.sig.Fire()
+			}
+		}
+	}
+	fc.done = 0
+	return fc
 }
 
 // clampRegion clamps a region origin so a 16-pixel span stays in frame.

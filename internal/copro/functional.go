@@ -53,6 +53,7 @@ func FunctionalDecodeFuncs(stream []byte, seq media.SeqHeader, out *FunctionalSi
 func functionalVLD(c *kpn.TaskCtx) error {
 	parser := media.NewStreamVLD()
 	buf := make([]byte, 64)
+	var tokBuf, hdrBuf []byte // reused record staging (the FIFO copies)
 	for {
 		ev, err := parser.Next()
 		if errors.Is(err, media.ErrNeedData) {
@@ -74,17 +75,21 @@ func functionalVLD(c *kpn.TaskCtx) error {
 		case media.EventSeq:
 			// configuration only
 		case media.EventFrame:
-			if err := c.Write("tok", media.AppendFrameRec(nil, media.FrameRecTok, ev.Frame)); err != nil {
+			tokBuf = media.AppendFrameRec(tokBuf[:0], media.FrameRecTok, ev.Frame)
+			hdrBuf = media.AppendFrameRec(hdrBuf[:0], media.FrameRecHdr, ev.Frame)
+			if err := c.Write("tok", tokBuf); err != nil {
 				return err
 			}
-			if err := c.Write("hdr", media.AppendFrameRec(nil, media.FrameRecHdr, ev.Frame)); err != nil {
+			if err := c.Write("hdr", hdrBuf); err != nil {
 				return err
 			}
 		case media.EventMB:
-			if err := c.Write("tok", media.AppendTokenMB(nil, &ev.Tok)); err != nil {
+			tokBuf = media.AppendTokenMB(tokBuf[:0], &ev.Tok)
+			hdrBuf = media.AppendMBHeader(hdrBuf[:0], ev.MB)
+			if err := c.Write("tok", tokBuf); err != nil {
 				return err
 			}
-			if err := c.Write("hdr", media.AppendMBHeader(nil, ev.MB)); err != nil {
+			if err := c.Write("hdr", hdrBuf); err != nil {
 				return err
 			}
 		case media.EventEnd:
@@ -95,12 +100,18 @@ func functionalVLD(c *kpn.TaskCtx) error {
 
 func functionalRLSQ(seq media.SeqHeader) kpn.TaskFunc {
 	return func(c *kpn.TaskCtx) error {
+		var (
+			frameB [media.FrameRecSize]byte
+			rec    []byte
+			tok    media.TokenMB // reused (event arena)
+			outBuf []byte
+			coef   [media.BlocksPerMB]media.Block
+		)
 		for f := 0; f < seq.Frames; f++ {
-			rec := make([]byte, media.FrameRecSize)
-			if err := c.Read("tok", rec); err != nil {
+			if err := c.Read("tok", frameB[:]); err != nil {
 				return err
 			}
-			if _, err := media.ParseFrameRec(rec, media.FrameRecTok); err != nil {
+			if _, err := media.ParseFrameRec(frameB[:], media.FrameRecTok); err != nil {
 				return err
 			}
 			for mb := 0; mb < seq.MBCount(); mb++ {
@@ -109,20 +120,19 @@ func functionalRLSQ(seq media.SeqHeader) kpn.TaskFunc {
 					return err
 				}
 				body := int(lenBuf[0]) | int(lenBuf[1])<<8
-				rec := make([]byte, media.TokenLenSize+body)
+				rec = growBytes(rec, media.TokenLenSize+body)
 				copy(rec, lenBuf[:])
 				if err := c.Read("tok", rec[media.TokenLenSize:]); err != nil {
 					return err
 				}
-				tok, _, err := media.ParseTokenMB(rec)
-				if err != nil {
+				if _, err := media.ParseTokenMBInto(rec, &tok); err != nil {
 					return err
 				}
-				var coef [media.BlocksPerMB]media.Block
 				if err := media.RLSQDecodeMB(&tok, seq.Q, &coef); err != nil {
 					return err
 				}
-				if err := c.Write("coef", media.AppendMBBlocks(nil, &coef)); err != nil {
+				outBuf = media.AppendMBBlocks(outBuf[:0], &coef)
+				if err := c.Write("coef", outBuf); err != nil {
 					return err
 				}
 			}
@@ -133,6 +143,7 @@ func functionalRLSQ(seq media.SeqHeader) kpn.TaskFunc {
 
 func functionalIDCT(c *kpn.TaskCtx) error {
 	buf := make([]byte, media.BlockBytes)
+	var outBuf []byte
 	for {
 		err := c.Read("coef", buf)
 		if err == io.EOF {
@@ -146,7 +157,8 @@ func functionalIDCT(c *kpn.TaskCtx) error {
 			return err
 		}
 		media.IDCT(&in, &out)
-		if err := c.Write("resid", media.AppendBlock(nil, &out)); err != nil {
+		outBuf = media.AppendBlock(outBuf[:0], &out)
+		if err := c.Write("resid", outBuf); err != nil {
 			return err
 		}
 	}
@@ -155,32 +167,38 @@ func functionalIDCT(c *kpn.TaskCtx) error {
 func functionalMC(seq media.SeqHeader) kpn.TaskFunc {
 	return func(c *kpn.TaskCtx) error {
 		var refs media.RefChain
+		var (
+			frameB [media.FrameRecSize]byte
+			hbuf   [media.MBHeaderSize]byte
+			rbuf   [media.MBCoefBytes]byte
+		)
+		pool := media.NewFramePool()
 		for f := 0; f < seq.Frames; f++ {
-			rec := make([]byte, media.FrameRecSize)
-			if err := c.Read("hdr", rec); err != nil {
+			if err := c.Read("hdr", frameB[:]); err != nil {
 				return err
 			}
-			hdr, err := media.ParseFrameRec(rec, media.FrameRecHdr)
+			hdr, err := media.ParseFrameRec(frameB[:], media.FrameRecHdr)
 			if err != nil {
 				return err
 			}
-			frame := media.NewFrame(seq.W(), seq.H())
+			// Frames cycle through a free list: the MC only ever needs the
+			// current frame plus the two references, so older frames are
+			// recycled instead of garbage-collected (per-GOP temporaries).
+			frame := pool.Get(seq.W(), seq.H())
 			fwd, bwd := refs.Refs(hdr.Type)
 			for mb := 0; mb < seq.MBCount(); mb++ {
-				hbuf := make([]byte, media.MBHeaderSize)
-				if err := c.Read("hdr", hbuf); err != nil {
+				if err := c.Read("hdr", hbuf[:]); err != nil {
 					return err
 				}
-				dec, err := media.ParseMBHeader(hbuf)
+				dec, err := media.ParseMBHeader(hbuf[:])
 				if err != nil {
 					return err
 				}
-				rbuf := make([]byte, media.MBCoefBytes)
-				if err := c.Read("resid", rbuf); err != nil {
+				if err := c.Read("resid", rbuf[:]); err != nil {
 					return err
 				}
 				var resid [media.BlocksPerMB]media.Block
-				if err := media.ParseMBBlocks(rbuf, &resid); err != nil {
+				if err := media.ParseMBBlocks(rbuf[:], &resid); err != nil {
 					return err
 				}
 				mbx, mby := mb%seq.MBCols, mb/seq.MBCols
@@ -193,7 +211,13 @@ func functionalMC(seq media.SeqHeader) kpn.TaskFunc {
 					return err
 				}
 			}
-			refs.Advance(frame, hdr.Type)
+			if hdr.Type == media.FrameB {
+				pool.Put(frame) // B frames never become references
+			} else {
+				dropped := refs.A // evicted by Advance below
+				refs.Advance(frame, hdr.Type)
+				pool.Put(dropped)
+			}
 		}
 		return nil
 	}

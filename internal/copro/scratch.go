@@ -1,0 +1,22 @@
+package copro
+
+// Per-task scratch buffer reuse.
+//
+// Every coprocessor Step used to allocate its staging buffers fresh
+// (record parse buffers, serialized output records) — one or more heap
+// allocations per macroblock per stage. Tasks now keep their scratch
+// slices across steps and resize with growBytes. This is safe because
+// Ctx.Read fills the buffer synchronously and Ctx.Write copies the data
+// into the shell cache before returning: a task's scratch is never
+// retained by the transport layer, so reusing it on the next step
+// cannot alias in-flight data.
+
+// growBytes returns a slice of length n, reusing b's backing array when
+// its capacity suffices and allocating a fresh one (with slack) when it
+// does not. Contents are unspecified.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n+n/2)[:n]
+	}
+	return b[:n]
+}

@@ -22,15 +22,23 @@
 package media
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
 
 // BitWriter assembles a bitstream MSB first.
+//
+// Bits accumulate into a 64-bit register and are flushed to the byte
+// buffer 32 bits at a time, so the per-call cost is one shift/or plus an
+// occasional 4-byte append instead of a byte-loop on every write. The
+// accumulator invariant: outside a call, nacc < 32 and the low nacc bits
+// of acc are the pending (unflushed) bits; anything above them is stale
+// and masked off by the uint32 truncation at flush time.
 type BitWriter struct {
 	buf  []byte
 	acc  uint64
-	nacc uint // bits currently in acc
+	nacc uint // bits currently pending in acc (invariant: < 32)
 }
 
 // NewBitWriter returns an empty bit writer.
@@ -44,9 +52,10 @@ func (w *BitWriter) WriteBits(v uint32, n uint) {
 	}
 	w.acc = w.acc<<n | uint64(v)&((1<<n)-1)
 	w.nacc += n
-	for w.nacc >= 8 {
-		w.nacc -= 8
-		w.buf = append(w.buf, byte(w.acc>>w.nacc))
+	if w.nacc >= 32 {
+		w.nacc -= 32
+		word := uint32(w.acc >> w.nacc)
+		w.buf = append(w.buf, byte(word>>24), byte(word>>16), byte(word>>8), byte(word))
 	}
 }
 
@@ -77,10 +86,15 @@ func (w *BitWriter) WriteSE(v int32) {
 	}
 }
 
-// Align pads with zero bits to the next byte boundary.
+// Align pads with zero bits to the next byte boundary and drains the
+// accumulator so buf holds every complete byte written so far.
 func (w *BitWriter) Align() {
-	if w.nacc > 0 {
-		w.WriteBits(0, 8-w.nacc)
+	if rem := w.nacc & 7; rem != 0 {
+		w.WriteBits(0, 8-rem)
+	}
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nacc))
 	}
 }
 
@@ -170,6 +184,13 @@ func (r *BitReader) Compact() int {
 }
 
 // ReadBits reads n (≤ 32) bits MSB first.
+//
+// Fast path: when at least 8 bytes remain at the current byte offset, a
+// single big-endian 64-bit load covers any ≤32-bit extraction regardless
+// of bit alignment (offset ≤ 7 + n ≤ 32 ⇒ 39 bits ≤ 64). The tail slow
+// path assembles the same 64-bit window byte-by-byte with zero padding;
+// the padding never leaks into the result because the bounds check has
+// already guaranteed pos+n ≤ len(buf)*8.
 func (r *BitReader) ReadBits(n uint) uint32 {
 	if n > 32 {
 		panic("media: ReadBits n > 32")
@@ -177,17 +198,31 @@ func (r *BitReader) ReadBits(n uint) uint32 {
 	if r.err != nil {
 		return 0
 	}
-	if r.pos+int(n) > len(r.buf)*8 {
+	pos := r.pos
+	if pos+int(n) > len(r.buf)*8 {
 		return r.fail()
 	}
-	var v uint32
-	for i := uint(0); i < n; i++ {
-		byteIdx := r.pos >> 3
-		bitIdx := uint(7 - r.pos&7)
-		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx)&1
-		r.pos++
+	r.pos = pos + int(n)
+	if byteIdx := pos >> 3; byteIdx+8 <= len(r.buf) {
+		w := binary.BigEndian.Uint64(r.buf[byteIdx:])
+		return uint32(w << uint(pos&7) >> (64 - n))
 	}
-	return v
+	return r.tailBits(pos, n)
+}
+
+// tailBits extracts n bits starting at bit position pos from the final
+// <8 bytes of the buffer, zero-padding beyond the end. Shared by the
+// ReadBits and PeekBits slow paths.
+func (r *BitReader) tailBits(pos int, n uint) uint32 {
+	base := pos >> 3
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w <<= 8
+		if j := base + i; j < len(r.buf) {
+			w |= uint64(r.buf[j])
+		}
+	}
+	return uint32(w << uint(pos&7) >> (64 - n))
 }
 
 // ReadBit reads a single bit.
@@ -199,21 +234,12 @@ func (r *BitReader) PeekBits(n uint) uint32 {
 	if n > 32 {
 		panic("media: PeekBits n > 32")
 	}
-	save := r.pos
-	var v uint32
-	for i := uint(0); i < n; i++ {
-		if r.pos >= len(r.buf)*8 {
-			v <<= 1
-			r.pos++
-			continue
-		}
-		byteIdx := r.pos >> 3
-		bitIdx := uint(7 - r.pos&7)
-		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx)&1
-		r.pos++
+	pos := r.pos
+	if byteIdx := pos >> 3; byteIdx+8 <= len(r.buf) {
+		w := binary.BigEndian.Uint64(r.buf[byteIdx:])
+		return uint32(w << uint(pos&7) >> (64 - n))
 	}
-	r.pos = save
-	return v
+	return r.tailBits(pos, n)
 }
 
 // Skip advances the read position by n bits.

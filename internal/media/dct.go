@@ -10,8 +10,10 @@ import "math"
 // B-frame prediction drift-free across the whole pipeline.
 
 // dctTab[u][x] = round( alpha(u)/2 * cos((2x+1)uπ/16) * 4096 ),
-// alpha(0) = 1/sqrt2, alpha(u>0) = 1.
-var dctTab [8][8]int32
+// alpha(0) = 1/sqrt2, alpha(u>0) = 1. dctTabT is its transpose
+// (dctTabT[x][u] = dctTab[u][x]), so both transform passes can walk a
+// contiguous table row whichever index the inner sum runs over.
+var dctTab, dctTabT [8][8]int32
 
 func init() {
 	for u := 0; u < 8; u++ {
@@ -22,6 +24,7 @@ func init() {
 		for x := 0; x < 8; x++ {
 			v := alpha / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
 			dctTab[u][x] = int32(math.Round(v * 4096))
+			dctTabT[x][u] = dctTab[u][x]
 		}
 	}
 }
@@ -35,28 +38,30 @@ const fixRound = 1 << 11 // rounding constant for the 12-bit fixed point
 // FDCT computes the forward 8×8 DCT of src into dst (row-major). Inputs
 // are expected in roughly [-256, 255] (pixel residuals or level-shifted
 // intra pixels); outputs fit comfortably in int16.
+// The passes hoist each 8-sample input vector into registers and unroll
+// the 8-tap dot product; int32 two's-complement sums are associative, so
+// the unrolled accumulation is bit-identical to the scalar loop.
 func FDCT(src, dst *Block) {
 	var tmp [64]int32
 	// rows: tmp[y][u] = sum_x src[y][x] * tab[u][x]
 	for y := 0; y < 8; y++ {
 		row := src[y*8 : y*8+8 : y*8+8]
+		c0, c1, c2, c3 := int32(row[0]), int32(row[1]), int32(row[2]), int32(row[3])
+		c4, c5, c6, c7 := int32(row[4]), int32(row[5]), int32(row[6]), int32(row[7])
+		o := tmp[y*8 : y*8+8 : y*8+8]
 		for u := 0; u < 8; u++ {
-			var s int32
-			tab := &dctTab[u]
-			for x := 0; x < 8; x++ {
-				s += int32(row[x]) * tab[x]
-			}
-			tmp[y*8+u] = (s + fixRound) >> 12
+			t := &dctTab[u]
+			s := c0*t[0] + c1*t[1] + c2*t[2] + c3*t[3] + c4*t[4] + c5*t[5] + c6*t[6] + c7*t[7]
+			o[u] = (s + fixRound) >> 12
 		}
 	}
 	// cols: dst[v][u] = sum_y tmp[y][u] * tab[v][y]
 	for u := 0; u < 8; u++ {
+		c0, c1, c2, c3 := tmp[u], tmp[8+u], tmp[16+u], tmp[24+u]
+		c4, c5, c6, c7 := tmp[32+u], tmp[40+u], tmp[48+u], tmp[56+u]
 		for v := 0; v < 8; v++ {
-			var s int32
-			tab := &dctTab[v]
-			for y := 0; y < 8; y++ {
-				s += tmp[y*8+u] * tab[y]
-			}
+			t := &dctTab[v]
+			s := c0*t[0] + c1*t[1] + c2*t[2] + c3*t[3] + c4*t[4] + c5*t[5] + c6*t[6] + c7*t[7]
 			dst[v*8+u] = clamp16((s + fixRound) >> 12)
 		}
 	}
@@ -65,26 +70,29 @@ func FDCT(src, dst *Block) {
 // IDCT computes the inverse 8×8 DCT of src into dst (row-major). It is
 // the deterministic inverse used by both the encoder's reconstruction
 // loop and the decoder, so the two stay bit-exact.
+// Like FDCT, both passes run as unrolled 8-tap dot products; the inner
+// sums index the transposed table so each tap walks a contiguous row.
 func IDCT(src, dst *Block) {
 	var tmp [64]int32
-	// rows: tmp[v][x] = sum_u src[v][u] * tab[u][x]
+	// rows: tmp[v][x] = sum_u src[v][u] * tab[u][x] = sum_u c_u * tabT[x][u]
 	for v := 0; v < 8; v++ {
 		row := src[v*8 : v*8+8 : v*8+8]
+		c0, c1, c2, c3 := int32(row[0]), int32(row[1]), int32(row[2]), int32(row[3])
+		c4, c5, c6, c7 := int32(row[4]), int32(row[5]), int32(row[6]), int32(row[7])
+		o := tmp[v*8 : v*8+8 : v*8+8]
 		for x := 0; x < 8; x++ {
-			var s int32
-			for u := 0; u < 8; u++ {
-				s += int32(row[u]) * dctTab[u][x]
-			}
-			tmp[v*8+x] = (s + fixRound) >> 12
+			t := &dctTabT[x]
+			s := c0*t[0] + c1*t[1] + c2*t[2] + c3*t[3] + c4*t[4] + c5*t[5] + c6*t[6] + c7*t[7]
+			o[x] = (s + fixRound) >> 12
 		}
 	}
-	// cols: dst[y][x] = sum_v tmp[v][x] * tab[v][y]
+	// cols: dst[y][x] = sum_v tmp[v][x] * tab[v][y] = sum_v c_v * tabT[y][v]
 	for x := 0; x < 8; x++ {
+		c0, c1, c2, c3 := tmp[x], tmp[8+x], tmp[16+x], tmp[24+x]
+		c4, c5, c6, c7 := tmp[32+x], tmp[40+x], tmp[48+x], tmp[56+x]
 		for y := 0; y < 8; y++ {
-			var s int32
-			for v := 0; v < 8; v++ {
-				s += tmp[v*8+x] * dctTab[v][y]
-			}
+			t := &dctTabT[y]
+			s := c0*t[0] + c1*t[1] + c2*t[2] + c3*t[3] + c4*t[4] + c5*t[5] + c6*t[6] + c7*t[7]
 			dst[y*8+x] = clamp16((s + fixRound) >> 12)
 		}
 	}

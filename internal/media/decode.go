@@ -63,21 +63,24 @@ func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain)
 	}
 	frame := NewFrame(seq.W(), seq.H())
 	fwdRef, bwdRef := refs.Refs(hdr.Type)
-	var mvp MVPredictor
+	var (
+		mvp         MVPredictor
+		tok         TokenMB // reused across macroblocks (arena)
+		coef, resid [BlocksPerMB]Block
+		pred, out   MBPixels
+	)
 	for mby := 0; mby < seq.MBRows; mby++ {
 		mvp.RowStart()
 		for mbx := 0; mbx < seq.MBCols; mbx++ {
-			dec, tok, err := ParseMBSyntax(r, hdr.Type, &mvp)
+			dec, err := ParseMBSyntaxInto(r, hdr.Type, &mvp, &tok)
 			if err != nil {
 				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
 			}
-			var coef, resid [BlocksPerMB]Block
 			if err := RLSQDecodeMB(&tok, seq.Q, &coef); err != nil {
 				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
 			}
 			IDCTMB(&coef, tok.CBP, &resid)
 			x, y := mbx*MBSize, mby*MBSize
-			var pred, out MBPixels
 			PredictHP(&pred, dec.Mode, fwdRef, bwdRef, x, y, dec.FMV, dec.BMV, seq.HalfPel)
 			Reconstruct(&out, &pred, &resid)
 			frame.SetMB(mbx, mby, &out)
@@ -86,20 +89,23 @@ func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain)
 	return frame, r.Err()
 }
 
-// parseBlockEvents reads one block's run/level events up to EOB.
-func parseBlockEvents(r *BitReader) ([]RunLevel, error) {
-	var events []RunLevel
+// parseBlockEventsInto reads one block's run/level events up to EOB into
+// the token's arena, publishing them as block b's events.
+func parseBlockEventsInto(r *BitReader, tok *TokenMB, b int) error {
+	tok.ensureArena()
+	start := len(tok.arena)
 	for {
 		rl, eob, _ := DecodeRunLevel(r)
 		if err := r.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		if eob {
-			return events, nil
+			tok.sealBlock(b, start)
+			return nil
 		}
-		events = append(events, rl)
-		if len(events) > 64 {
-			return nil, fmt.Errorf("%w: more than 64 events in a block", ErrBitstream)
+		tok.arena = append(tok.arena, rl)
+		if len(tok.arena)-start > maxBlockEvents {
+			return fmt.Errorf("%w: more than 64 events in a block", ErrBitstream)
 		}
 	}
 }

@@ -140,57 +140,76 @@ func TokenMBSize(tok *TokenMB) int {
 	return n
 }
 
-// ParseTokenMB decodes a complete token record (including the length
-// prefix), returning the record and its total byte size.
-func ParseTokenMB(src []byte) (TokenMB, int, error) {
+// ParseTokenMBInto decodes a complete token record (including the length
+// prefix) into a caller-owned token, returning the record's total byte
+// size. tok is Reset first; reusing one token across records makes the
+// consuming coprocessor model allocation-free (see tokens.go for the
+// arena ownership rules). On error tok's contents are unspecified.
+func ParseTokenMBInto(src []byte, tok *TokenMB) (int, error) {
 	if len(src) < TokenLenSize+1 {
-		return TokenMB{}, 0, fmt.Errorf("%w: short token record", ErrBitstream)
+		return 0, fmt.Errorf("%w: short token record", ErrBitstream)
 	}
 	body := int(binary.LittleEndian.Uint16(src))
 	if len(src) < TokenLenSize+body {
-		return TokenMB{}, 0, fmt.Errorf("%w: truncated token record (%d of %d)", ErrBitstream, len(src), TokenLenSize+body)
+		return 0, fmt.Errorf("%w: truncated token record (%d of %d)", ErrBitstream, len(src), TokenLenSize+body)
 	}
-	tok, n, err := parseTokenBody(src[TokenLenSize : TokenLenSize+body])
+	n, err := parseTokenBodyInto(src[TokenLenSize:TokenLenSize+body], tok)
+	if err != nil {
+		return 0, err
+	}
+	if n != body {
+		return 0, fmt.Errorf("%w: token record length %d, content %d", ErrBitstream, body, n)
+	}
+	return TokenLenSize + body, nil
+}
+
+// ParseTokenMB is the allocating convenience form of ParseTokenMBInto:
+// each call returns a token with its own backing storage.
+func ParseTokenMB(src []byte) (TokenMB, int, error) {
+	var tok TokenMB
+	n, err := ParseTokenMBInto(src, &tok)
 	if err != nil {
 		return TokenMB{}, 0, err
 	}
-	if n != body {
-		return TokenMB{}, 0, fmt.Errorf("%w: token record length %d, content %d", ErrBitstream, body, n)
-	}
-	return tok, TokenLenSize + body, nil
+	return tok, n, nil
 }
 
-// parseTokenBody decodes the cbp+events portion of a token record.
-func parseTokenBody(src []byte) (TokenMB, int, error) {
+// parseTokenBodyInto decodes the cbp+events portion of a token record
+// into the token's arena.
+func parseTokenBodyInto(src []byte, tok *TokenMB) (int, error) {
+	tok.Reset()
 	if len(src) < 1 {
-		return TokenMB{}, 0, fmt.Errorf("%w: empty token body", ErrBitstream)
+		return 0, fmt.Errorf("%w: empty token body", ErrBitstream)
 	}
-	tok := TokenMB{CBP: src[0] & 0x0F}
 	if src[0] > 0x0F {
-		return TokenMB{}, 0, fmt.Errorf("%w: token cbp %#x", ErrBitstream, src[0])
+		return 0, fmt.Errorf("%w: token cbp %#x", ErrBitstream, src[0])
 	}
+	tok.CBP = src[0] & 0x0F
 	pos := 1
 	for b := 0; b < BlocksPerMB; b++ {
 		if tok.CBP&(1<<b) == 0 {
 			continue
 		}
+		tok.ensureArena()
+		start := len(tok.arena)
 		for {
 			if len(src) < pos+TokenEventSize {
-				return TokenMB{}, 0, fmt.Errorf("%w: truncated token events", ErrBitstream)
+				return 0, fmt.Errorf("%w: truncated token events", ErrBitstream)
 			}
 			run := src[pos]
 			level := int32(int16(binary.LittleEndian.Uint16(src[pos+1:])))
 			pos += TokenEventSize
 			if run == TokEOB {
+				tok.sealBlock(b, start)
 				break
 			}
-			tok.Events[b] = append(tok.Events[b], RunLevel{Run: int(run), Level: level})
-			if len(tok.Events[b]) > 64 {
-				return TokenMB{}, 0, fmt.Errorf("%w: token overflow", ErrBitstream)
+			tok.arena = append(tok.arena, RunLevel{Run: int(run), Level: level})
+			if len(tok.arena)-start > maxBlockEvents {
+				return 0, fmt.Errorf("%w: token overflow", ErrBitstream)
 			}
 		}
 	}
-	return tok, pos, nil
+	return pos, nil
 }
 
 // AppendBlock appends one coefficient/residual block (128 bytes).

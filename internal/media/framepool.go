@@ -1,0 +1,48 @@
+package media
+
+// FramePool is a free list for per-GOP temporary frames. Decoder loops
+// that assemble frames only to use them as motion-compensation
+// references (and then drop them when the reference chain advances) can
+// recycle the pixel storage instead of allocating a fresh frame per
+// coded frame.
+//
+// Ownership rule: a frame handed to Put must have no other live
+// references — the pool will hand it back from a future Get with its
+// pixels zeroed, exactly like a fresh NewFrame.
+//
+// FramePool is not safe for concurrent use; give each goroutine its
+// own pool.
+type FramePool struct {
+	free []*Frame
+}
+
+// NewFramePool returns an empty pool.
+func NewFramePool() *FramePool { return &FramePool{} }
+
+// Get returns a zeroed w×h frame, reusing pooled storage of matching
+// dimensions when available.
+func (p *FramePool) Get(w, h int) *Frame {
+	for i := len(p.free) - 1; i >= 0; i-- {
+		f := p.free[i]
+		if f.W != w || f.H != h {
+			continue
+		}
+		p.free[i] = p.free[len(p.free)-1]
+		p.free[len(p.free)-1] = nil
+		p.free = p.free[:len(p.free)-1]
+		for j := range f.Pix {
+			f.Pix[j] = 0
+		}
+		return f
+	}
+	return NewFrame(w, h)
+}
+
+// Put returns a frame to the pool. Put(nil) is a no-op, so callers can
+// unconditionally recycle possibly-absent references.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.free = append(p.free, f)
+}

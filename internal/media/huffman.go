@@ -45,6 +45,10 @@ type HuffCode struct {
 	Len  uint8  // code length in bits; 0 means the symbol is unused
 }
 
+// huffLUTBits bounds the first-level decode table: codes no longer than
+// min(maxLen, huffLUTBits) bits resolve with one peek + one table load.
+const huffLUTBits = 12
+
 // HuffTable holds canonical Huffman codes for symbols 0..n-1 and supports
 // encoding and decoding. Build tables with NewHuffTable.
 type HuffTable struct {
@@ -57,6 +61,14 @@ type HuffTable struct {
 	firstIdx  []int
 	count     []int // number of codes of each length
 	symByCode []int // symbols sorted by (length, code)
+
+	// First-level decode LUT, indexed by the next lutBits bits of the
+	// stream. Each entry packs sym<<8 | len; entry 0 is the overflow
+	// sentinel (code longer than lutBits, or invalid prefix) that routes
+	// decode to the bit-serial canonical walk. Valid because real code
+	// lengths are ≥ 1, so a packed entry is never all-zero.
+	lut     []uint32
+	lutBits uint
 }
 
 // HuffCodeLengths computes canonical Huffman code lengths for the given
@@ -165,7 +177,36 @@ func NewHuffTable(lengths []uint8) (*HuffTable, error) {
 		}
 		code <<= 1
 	}
+	t.buildLUT()
 	return t, nil
+}
+
+// buildLUT fills the first-level decode table. Every index whose top
+// c.Len bits equal a code's bits maps to that code's packed {sym, len};
+// codes are prefix-free, so each index has at most one such code and the
+// fill never conflicts. Indexes with no code prefix ≤ lutBits stay 0
+// (the overflow sentinel).
+func (t *HuffTable) buildLUT() {
+	lb := uint(t.maxLen)
+	if lb > huffLUTBits {
+		lb = huffLUTBits
+	}
+	if lb == 0 {
+		return
+	}
+	t.lutBits = lb
+	t.lut = make([]uint32, 1<<lb)
+	for sym, c := range t.codes {
+		if c.Len == 0 || uint(c.Len) > lb || sym >= 1<<24 {
+			continue // longer than the LUT covers (or unpackable): serial walk
+		}
+		span := uint32(1) << (lb - uint(c.Len))
+		base := c.Bits << (lb - uint(c.Len))
+		e := uint32(sym)<<8 | uint32(c.Len)
+		for i := uint32(0); i < span; i++ {
+			t.lut[base+i] = e
+		}
+	}
 }
 
 // Code returns the code for a symbol. A zero-length code means the symbol
@@ -187,7 +228,35 @@ func (t *HuffTable) Encode(w *BitWriter, sym int) {
 // Decode reads one symbol from the bit reader using canonical decoding.
 // It returns the symbol and the number of bits consumed. On malformed
 // input it returns -1 and sets the reader's error.
+//
+// Fast path: peek lutBits, one table load, advance by the matched
+// length. The serial walk remains authoritative for long codes (len >
+// lutBits), invalid prefixes, entry errors, and the stream tail — the
+// `int(l) <= avail` guard rejects LUT matches that would rely on the
+// zero padding PeekBits fabricates past the end, so truncated input
+// reports exactly the same bits-consumed and PastEnd error as the
+// serial walk always has.
 func (t *HuffTable) Decode(r *BitReader) (sym int, bits uint) {
+	if t.maxLen == 0 {
+		r.failCorrupt("decode with empty huffman table")
+		return -1, 0
+	}
+	if r.err == nil && t.lut != nil {
+		if avail := len(r.buf)*8 - r.pos; avail > 0 {
+			e := t.lut[r.PeekBits(t.lutBits)]
+			if l := uint(e & 0xff); l != 0 && int(l) <= avail {
+				r.pos += int(l)
+				return int(e >> 8), l
+			}
+		}
+	}
+	return t.decodeSerial(r)
+}
+
+// decodeSerial is the bit-serial canonical walk: one ReadBits(1) per
+// code bit, checking the length-indexed firstCode/count tables at every
+// depth. It is the reference semantics the LUT path must match.
+func (t *HuffTable) decodeSerial(r *BitReader) (sym int, bits uint) {
 	if t.maxLen == 0 {
 		r.failCorrupt("decode with empty huffman table")
 		return -1, 0

@@ -51,19 +51,24 @@ func SAD(cur *MBPixels, ref *Frame, x, y int, mv MV, earlyOut int) int {
 	rx, ry := x+int(mv.X), y+int(mv.Y)
 	inside := rx >= 0 && ry >= 0 && rx+MBSize <= ref.W && ry+MBSize <= ref.H
 	if inside {
+		// Hot path of the full search: full-capacity row slices hoist the
+		// bounds checks out of the pixel loop, and the shift trick makes
+		// the absolute difference branch-free. The per-row early-out is
+		// unchanged, so the returned (possibly partial) sums are
+		// bit-identical with the scalar loop.
+		base := ry*ref.W + rx
 		for j := 0; j < MBSize; j++ {
-			row := ref.Pix[(ry+j)*ref.W+rx:]
-			crow := cur[j*MBSize:]
+			row := ref.Pix[base : base+MBSize : base+MBSize]
+			crow := cur[j*MBSize : j*MBSize+MBSize : j*MBSize+MBSize]
 			for i := 0; i < MBSize; i++ {
 				d := int(crow[i]) - int(row[i])
-				if d < 0 {
-					d = -d
-				}
-				sum += d
+				m := d >> 63 // 0 or -1
+				sum += (d ^ m) - m
 			}
 			if sum > earlyOut {
 				return sum
 			}
+			base += ref.W
 		}
 		return sum
 	}
@@ -173,10 +178,8 @@ func RefineHalfPel(cur *MBPixels, ref *Frame, x, y int, full MV, fullSAD int) (M
 			sad := 0
 			for i := range pred {
 				d := int(cur[i]) - int(pred[i])
-				if d < 0 {
-					d = -d
-				}
-				sad += d
+				m := d >> 63
+				sad += (d ^ m) - m
 			}
 			if sad < bestSAD {
 				bestSAD, best = sad, cand
@@ -195,6 +198,46 @@ func fetchHalf(dst *MBPixels, ref *Frame, hx, hy int) {
 	fx, fy := hx&1, hy&1
 	if fx == 0 && fy == 0 {
 		fetch(dst, ref, ix, iy)
+		return
+	}
+	// Interior fast paths: when the (MBSize+1)×(MBSize+1) interpolation
+	// support is fully inside the frame, every At() would hit the direct
+	// case, so the clamping accessor and the per-pixel fractional switch
+	// can be hoisted out of the loops. Identical arithmetic either way.
+	if ix >= 0 && iy >= 0 && ix+MBSize+1 <= ref.W && iy+MBSize+1 <= ref.H {
+		w := ref.W
+		base := iy*w + ix
+		switch {
+		case fx == 1 && fy == 0:
+			for j := 0; j < MBSize; j++ {
+				row := ref.Pix[base : base+MBSize+1 : base+MBSize+1]
+				d := dst[j*MBSize : j*MBSize+MBSize : j*MBSize+MBSize]
+				for i := 0; i < MBSize; i++ {
+					d[i] = byte((int(row[i]) + int(row[i+1]) + 1) / 2)
+				}
+				base += w
+			}
+		case fx == 0 && fy == 1:
+			for j := 0; j < MBSize; j++ {
+				row := ref.Pix[base : base+MBSize : base+MBSize]
+				below := ref.Pix[base+w : base+w+MBSize : base+w+MBSize]
+				d := dst[j*MBSize : j*MBSize+MBSize : j*MBSize+MBSize]
+				for i := 0; i < MBSize; i++ {
+					d[i] = byte((int(row[i]) + int(below[i]) + 1) / 2)
+				}
+				base += w
+			}
+		default:
+			for j := 0; j < MBSize; j++ {
+				row := ref.Pix[base : base+MBSize+1 : base+MBSize+1]
+				below := ref.Pix[base+w : base+w+MBSize+1 : base+w+MBSize+1]
+				d := dst[j*MBSize : j*MBSize+MBSize : j*MBSize+MBSize]
+				for i := 0; i < MBSize; i++ {
+					d[i] = byte((int(row[i]) + int(row[i+1]) + int(below[i]) + int(below[i+1]) + 2) / 4)
+				}
+				base += w
+			}
+		}
 		return
 	}
 	for j := 0; j < MBSize; j++ {
@@ -240,10 +283,14 @@ func FetchMB(dst *MBPixels, ref *Frame, x, y int) { fetch(dst, ref, x, y) }
 func Residual(cur, pred *MBPixels, blocks *[BlocksPerMB]Block) {
 	for b := 0; b < BlocksPerMB; b++ {
 		bx, by := (b%2)*8, (b/2)*8
+		blk := &blocks[b]
 		for j := 0; j < 8; j++ {
+			p := (by+j)*MBSize + bx
+			cr := cur[p : p+8 : p+8]
+			pr := pred[p : p+8 : p+8]
+			br := blk[j*8 : j*8+8 : j*8+8]
 			for i := 0; i < 8; i++ {
-				p := (by+j)*MBSize + bx + i
-				blocks[b][j*8+i] = int16(int(cur[p]) - int(pred[p]))
+				br[i] = int16(int(cr[i]) - int(pr[i]))
 			}
 		}
 	}
@@ -255,10 +302,14 @@ func Residual(cur, pred *MBPixels, blocks *[BlocksPerMB]Block) {
 func Reconstruct(dst, pred *MBPixels, blocks *[BlocksPerMB]Block) {
 	for b := 0; b < BlocksPerMB; b++ {
 		bx, by := (b%2)*8, (b/2)*8
+		blk := &blocks[b]
 		for j := 0; j < 8; j++ {
+			p := (by+j)*MBSize + bx
+			pr := pred[p : p+8 : p+8]
+			dr := dst[p : p+8 : p+8]
+			br := blk[j*8 : j*8+8 : j*8+8]
 			for i := 0; i < 8; i++ {
-				p := (by+j)*MBSize + bx + i
-				dst[p] = clampByte(int(pred[p]) + int(blocks[b][j*8+i]))
+				dr[i] = clampByte(int(pr[i]) + int(br[i]))
 			}
 		}
 	}

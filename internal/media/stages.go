@@ -12,9 +12,19 @@ import "fmt"
 // coefficient data: the coded block pattern and, for each coded block,
 // its run/level events in zigzag order. It is what the VLD sends to the
 // RLSQ coprocessor.
+//
+// The per-block Events slices are views into a single flat arena owned
+// by the TokenMB, so a reused token (Reset + one of the *Into parsers)
+// decodes macroblocks without allocating. Ownership rule: the Events
+// views are valid until the owning token's next Reset; consumers that
+// need the events past that point must copy them.
 type TokenMB struct {
 	CBP    byte
 	Events [BlocksPerMB][]RunLevel
+
+	// arena is the flat backing store for the Events views. One backing
+	// array, per-block offsets realized as full-capacity-clamped slices.
+	arena []RunLevel
 }
 
 // TokenCount returns the total number of run/level events, the main cost
@@ -128,10 +138,25 @@ func RLSQDecodeMB(tok *TokenMB, q int, out *[BlocksPerMB]Block) error {
 	return nil
 }
 
-// RLSQEncodeBlock is the encode-direction RLSQ kernel for one block:
-// zigzag scan and quantization producing run/level events. It also
+// RLSQEncodeBlockInto is the encode-direction RLSQ kernel for one block:
+// zigzag scan and quantization producing run/level events published as
+// block b of the caller-owned token (zero-alloc on token reuse). It also
 // returns the quantized zigzag block, which feeds the encoder's local
 // reconstruction path.
+func RLSQEncodeBlockInto(coef *Block, intra bool, q int, tok *TokenMB, b int) (qzz Block) {
+	var zz Block
+	ZigzagScan(coef, &zz)
+	if intra {
+		Quantize(&zz, &qzz, q)
+	} else {
+		QuantizeInter(&zz, &qzz, q)
+	}
+	tok.SetBlockRunLength(b, &qzz)
+	return qzz
+}
+
+// RLSQEncodeBlock is the allocating convenience form of
+// RLSQEncodeBlockInto, returning a freshly allocated event slice.
 func RLSQEncodeBlock(coef *Block, intra bool, q int) (qzz Block, events []RunLevel) {
 	var zz Block
 	ZigzagScan(coef, &zz)
@@ -206,18 +231,31 @@ func EncodeMBSyntax(w *BitWriter, ftype FrameType, dec MBDecision, mvp *MVPredic
 		if cbp&(1<<b) == 0 {
 			continue
 		}
-		for _, rl := range RunLength(&qzz[b]) {
-			EncodeRunLevel(w, rl)
+		// Emit the run/level VLCs directly from the zigzag scan instead
+		// of materializing an intermediate []RunLevel: bit-identical to
+		// encoding RunLength(&qzz[b]), without the allocation.
+		run := 0
+		for _, c := range qzz[b] {
+			if c == 0 {
+				run++
+				continue
+			}
+			EncodeRunLevel(w, RunLevel{Run: run, Level: int32(c)})
+			run = 0
 		}
 		EncodeEOB(w)
 	}
 }
 
-// ParseMBSyntax reads one macroblock's syntax (the VLD kernel): the
-// recovered coding decision (with absolute motion vectors) and the
-// coefficient tokens. Skipped macroblocks return Mode PredSkip with an
-// empty TokenMB. The predictor is updated in place.
-func ParseMBSyntax(r *BitReader, ftype FrameType, mvp *MVPredictor) (MBDecision, TokenMB, error) {
+// ParseMBSyntaxInto reads one macroblock's syntax (the VLD kernel) into
+// a caller-owned token: the recovered coding decision (with absolute
+// motion vectors) and the coefficient tokens. Skipped macroblocks return
+// Mode PredSkip with an empty token. The predictor is updated in place.
+// tok is Reset first; reusing one token across macroblocks makes the
+// entropy-decode path allocation-free (see the arena ownership rules in
+// tokens.go).
+func ParseMBSyntaxInto(r *BitReader, ftype FrameType, mvp *MVPredictor, tok *TokenMB) (MBDecision, error) {
+	tok.Reset()
 	dec := MBDecision{Mode: PredIntra}
 	switch ftype {
 	case FrameI:
@@ -225,7 +263,7 @@ func ParseMBSyntax(r *BitReader, ftype FrameType, mvp *MVPredictor) (MBDecision,
 	case FrameP:
 		if r.ReadBit() == 1 {
 			mvp.Update(PredSkip, MV{}, MV{})
-			return MBDecision{Mode: PredSkip}, TokenMB{}, r.Err()
+			return MBDecision{Mode: PredSkip}, r.Err()
 		}
 		if r.ReadBit() == 1 {
 			dec.Mode = PredIntra
@@ -247,19 +285,24 @@ func ParseMBSyntax(r *BitReader, ftype FrameType, mvp *MVPredictor) (MBDecision,
 	}
 	mvp.Update(dec.Mode, dec.FMV, dec.BMV)
 
-	var tok TokenMB
 	tok.CBP = byte(r.ReadBits(4))
 	for b := 0; b < BlocksPerMB; b++ {
 		if tok.CBP&(1<<b) == 0 {
 			continue
 		}
-		events, err := parseBlockEvents(r)
-		if err != nil {
-			return dec, tok, err
+		if err := parseBlockEventsInto(r, tok, b); err != nil {
+			return dec, err
 		}
-		tok.Events[b] = events
 	}
-	return dec, tok, r.Err()
+	return dec, r.Err()
+}
+
+// ParseMBSyntax is the allocating convenience form of ParseMBSyntaxInto:
+// each call returns a token with its own backing storage.
+func ParseMBSyntax(r *BitReader, ftype FrameType, mvp *MVPredictor) (MBDecision, TokenMB, error) {
+	var tok TokenMB
+	dec, err := ParseMBSyntaxInto(r, ftype, mvp, &tok)
+	return dec, tok, err
 }
 
 // RefChain tracks the decoder's (or encoder's) last two reference frames

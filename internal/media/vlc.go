@@ -116,21 +116,25 @@ func DecodeRunLevel(r *BitReader) (rl RunLevel, eob bool, bits uint) {
 	}
 }
 
-// RunLength converts a zigzag-ordered coefficient block into run/level
-// events (without the trailing EOB).
-func RunLength(zz *[64]int16) []RunLevel {
-	var out []RunLevel
+// AppendRunLength appends the run/level events of a zigzag-ordered
+// coefficient block (without the trailing EOB) to dst and returns the
+// extended slice, allocating only if dst lacks capacity.
+func AppendRunLength(dst []RunLevel, zz *[64]int16) []RunLevel {
 	run := 0
 	for _, c := range zz {
 		if c == 0 {
 			run++
 			continue
 		}
-		out = append(out, RunLevel{Run: run, Level: int32(c)})
+		dst = append(dst, RunLevel{Run: run, Level: int32(c)})
 		run = 0
 	}
-	return out
+	return dst
 }
+
+// RunLength converts a zigzag-ordered coefficient block into run/level
+// events (without the trailing EOB), allocating a fresh slice.
+func RunLength(zz *[64]int16) []RunLevel { return AppendRunLength(nil, zz) }
 
 // RunLengthExpand reconstructs a zigzag-ordered coefficient block from
 // run/level events. It reports false if the events overflow 64

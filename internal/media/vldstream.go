@@ -54,6 +54,7 @@ type StreamVLD struct {
 	hdr      FrameHdr
 	mvp      MVPredictor
 	done     bool
+	tok      TokenMB // reused across macroblocks (event arena)
 }
 
 // NewStreamVLD returns a parser with no input yet.
@@ -147,11 +148,13 @@ func (v *StreamVLD) parseOne() (VLDEvent, error) {
 	if v.mbIdx%v.seq.MBCols == 0 {
 		v.mvp.RowStart()
 	}
-	dec, tok, err := ParseMBSyntax(v.r, v.hdr.Type, &v.mvp)
+	dec, err := ParseMBSyntaxInto(v.r, v.hdr.Type, &v.mvp, &v.tok)
 	if err != nil {
 		return VLDEvent{}, err
 	}
-	ev := VLDEvent{Kind: EventMB, MB: dec, Tok: tok, Frame: v.hdr, Bits: v.r.BitPos() - start}
+	// ev.Tok's event views alias the parser-owned arena: valid until the
+	// next Next call (consumers copy what they keep — see tokens.go).
+	ev := VLDEvent{Kind: EventMB, MB: dec, Tok: v.tok, Frame: v.hdr, Bits: v.r.BitPos() - start}
 	v.mbIdx++
 	if v.mbIdx == v.seq.MBCount() {
 		v.inFrame = false

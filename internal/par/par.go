@@ -1,0 +1,98 @@
+// Package par provides the bounded worker pool shared by the design-space
+// sweep engine (eclipse.ParallelMap) and the media encoder's parallel
+// macroblock pass. It lives below both so internal/media can use it
+// without importing the root package (which imports internal/media).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for i in [0, n) on a worker pool of at most
+// `workers` goroutines (<=0 means runtime.NumCPU()).
+//
+// Cancellation is first-error-wins with deterministic reporting: when an
+// index fails, no *new* indices are started, in-flight indices run to
+// completion, and the error returned is the one from the lowest failing
+// index — independent of goroutine timing. (Indices are handed out in
+// order, so every index below a failing one has already been dispatched
+// and finishes; the minimum over recorded errors is therefore stable
+// across runs and worker counts.)
+func Run(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64 // next index to dispatch
+		failed atomic.Bool  // set on first error: stop dispatching
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i, items[i]) for every item on a Run pool and returns the
+// results in input order, with Run's deterministic error semantics.
+func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]R, n)
+	err := Run(n, workers, func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

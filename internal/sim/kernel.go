@@ -16,6 +16,23 @@
 //     control flow (like the paper's coprocessor pseudo-code) without any
 //     data races or nondeterminism.
 //
+// # Direct handoff (hot path)
+//
+// The run loop is not pinned to the goroutine that called Run. It is a
+// baton carried by whichever goroutine currently has control: when a
+// process parks (Delay/Wait), its own goroutine keeps executing the event
+// loop — callbacks run inline, and on the next dispatch event the baton
+// passes straight to the target process with a single channel send. The
+// old shape (park → wake the driver goroutine → driver dispatches the
+// next process) cost two goroutine switches per simulated event; direct
+// handoff costs one, and when the next event is the parking process's own
+// wakeup (common under Delay) it costs none at all — park returns inline
+// with no channel operation. The Run caller ("driver") only regains
+// control when the simulation finishes, fails, deadlocks, or pauses at a
+// cycle limit. Event pop order is untouched, so execution remains
+// bit-identical to the single-driver loop; only the goroutine executing
+// each event differs, which the model cannot observe.
+//
 // # Event representation (hot path)
 //
 // Events are typed values, not closures: an event carries a kind tag
@@ -149,11 +166,20 @@ type Kernel struct {
 	running *Proc // process currently executing, nil inside plain events
 	stopped bool
 	failure error
+
+	// Direct-handoff state. curIdx is the consumed prefix of the current
+	// cycle's wheel bucket; it lives on the kernel (not a run-loop stack
+	// frame) because the loop migrates between goroutines. driver is the
+	// channel on which the Run caller waits while a process goroutine
+	// carries the event loop; limit is the active Run cycle limit.
+	curIdx int
+	driver chan struct{}
+	limit  uint64
 }
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{driver: make(chan struct{})}
 }
 
 // Now returns the current simulation cycle.
@@ -236,6 +262,7 @@ func (e *LimitError) Error() string {
 // LimitError should call Shutdown to release its goroutines. Every other
 // return value is terminal and shuts the kernel down automatically.
 func (k *Kernel) Run(limit uint64) error {
+	k.limit = limit
 	paused := false
 	defer func() {
 		// Terminal returns (and panics escaping an event callback) release
@@ -244,7 +271,19 @@ func (k *Kernel) Run(limit uint64) error {
 			k.Shutdown()
 		}
 	}()
-	for !k.stopped {
+	for {
+		if k.advance(nil) == advTransferred {
+			// A process goroutine carries the event loop now; it hands the
+			// baton back here only when a terminal/pause condition holds.
+			<-k.driver
+		}
+		// The driver holds the baton: no process is executing, so the
+		// outside-process guards in Delay/Wait must see a nil running.
+		k.running = nil
+		if k.stopped {
+			k.dropConsumed()
+			return k.failure
+		}
 		at, ok := k.nextAt()
 		if !ok {
 			if blocked := k.blockedProcs(); len(blocked) > 0 {
@@ -257,10 +296,116 @@ func (k *Kernel) Run(limit uint64) error {
 			paused = true
 			return &LimitError{Limit: limit}
 		}
-		k.now = at
-		k.runCycle(at)
 	}
-	return k.failure
+}
+
+// Baton-transfer outcomes of advance.
+const (
+	// advTransferred: the baton was handed to a process goroutine with a
+	// channel send; the caller must wait for its own wakeup.
+	advTransferred = iota
+	// advSelf: the next event was the calling process's own dispatch; it
+	// continues inline with no channel operation at all.
+	advSelf
+	// advDone: stopped, out of events, or at the cycle limit; the driver
+	// must evaluate the terminal condition.
+	advDone
+)
+
+// advance is the event loop, executed by whichever goroutine holds the
+// control baton (the Run caller, a process inside park, or an exiting
+// process goroutine releasing control). It pops events in exactly the
+// (cycle, seq) order of the single-driver loop — callbacks run inline;
+// a dispatch or launch transfers the baton and returns. self is the
+// process whose goroutine is executing the loop (nil for the driver and
+// for exiting processes): a dispatch event for self returns control
+// inline instead of round-tripping through channels.
+func (k *Kernel) advance(self *Proc) int {
+	for !k.stopped {
+		slot := k.now & (wheelSize - 1)
+		bucket := k.wheel[slot] // re-read each pass: may have grown or moved
+		hasW := k.curIdx < len(bucket)
+		hasH := len(k.events) > 0 && k.events[0].at == k.now
+		if !hasW && !hasH {
+			// Current cycle drained: reset the bucket (keeping its capacity
+			// for the steady-state zero-alloc path) and advance the clock.
+			if k.curIdx > 0 {
+				clearEvents(bucket)
+				k.wheel[slot] = bucket[:0]
+				k.curIdx = 0
+			}
+			at, ok := k.nextAt()
+			if !ok {
+				return advDone // finish or deadlock: driver decides
+			}
+			if k.limit != 0 && at > k.limit {
+				return advDone // pause: the event stays queued
+			}
+			k.now = at
+			continue
+		}
+		var e event
+		switch {
+		case hasW && hasH:
+			if bucket[k.curIdx].seq < k.events[0].seq {
+				e = bucket[k.curIdx]
+				k.curIdx++
+				k.wheelLen--
+			} else {
+				e = k.events.pop()
+			}
+		case hasW:
+			e = bucket[k.curIdx]
+			k.curIdx++
+			k.wheelLen--
+		default:
+			e = k.events.pop()
+		}
+		k.executed++
+		switch e.kind {
+		case evDispatch:
+			if e.p == self {
+				k.running = self
+				return advSelf
+			}
+			k.running = e.p
+			e.p.resume <- struct{}{}
+			return advTransferred
+		case evLaunch:
+			e.p.start()
+			k.running = e.p
+			e.p.resume <- struct{}{}
+			return advTransferred
+		default:
+			k.running = nil
+			e.fn()
+		}
+	}
+	return advDone
+}
+
+// release is called by a goroutine that holds the baton but cannot take
+// it back (a process whose body returned, or a process parking when no
+// further event can reach it before a terminal condition): it keeps the
+// loop going, handing the baton to the next process or to the driver.
+func (k *Kernel) release() {
+	if k.advance(nil) == advDone {
+		k.driver <- struct{}{}
+	}
+}
+
+// dropConsumed discards the consumed prefix of the current cycle's wheel
+// bucket after a mid-cycle Stop/Fail, so Pending stays honest.
+func (k *Kernel) dropConsumed() {
+	if k.curIdx == 0 {
+		return
+	}
+	slot := k.now & (wheelSize - 1)
+	bucket := k.wheel[slot]
+	n := copy(bucket, bucket[k.curIdx:])
+	clearEvents(bucket[n:])
+	k.wheel[slot] = bucket[:n]
+	k.curIdx = 0
 }
 
 // nextAt reports the cycle of the earliest pending event across the wheel
@@ -285,60 +430,6 @@ func (k *Kernel) nextAt() (uint64, bool) {
 		}
 	}
 	return at, ok
-}
-
-// runCycle executes every event whose cycle equals at, merging the wheel
-// bucket for this cycle with same-cycle heap events in seq order. Events
-// scheduled during execution with delay 0 append to the same bucket
-// (with higher seq) and are picked up by the re-read of the slice, so
-// same-cycle FIFO semantics hold across nested scheduling.
-func (k *Kernel) runCycle(at uint64) {
-	slot := at & (wheelSize - 1)
-	i := 0
-	for !k.stopped {
-		var e event
-		bucket := k.wheel[slot] // re-read: may have grown or moved
-		hasW := i < len(bucket)
-		hasH := len(k.events) > 0 && k.events[0].at == at
-		switch {
-		case hasW && hasH:
-			if bucket[i].seq < k.events[0].seq {
-				e = bucket[i]
-				i++
-				k.wheelLen--
-			} else {
-				e = k.events.pop()
-			}
-		case hasW:
-			e = bucket[i]
-			i++
-			k.wheelLen--
-		case hasH:
-			e = k.events.pop()
-		default:
-			// Cycle drained: reset the bucket, keeping its capacity for
-			// the steady-state zero-alloc path.
-			clearEvents(bucket)
-			k.wheel[slot] = bucket[:0]
-			return
-		}
-		k.executed++
-		switch e.kind {
-		case evDispatch:
-			e.p.dispatch()
-		case evLaunch:
-			e.p.launch()
-		default:
-			e.fn()
-		}
-	}
-	// Stopped mid-cycle: drop the consumed prefix so Pending stays honest.
-	if i > 0 {
-		bucket := k.wheel[slot]
-		n := copy(bucket, bucket[i:])
-		clearEvents(bucket[n:])
-		k.wheel[slot] = bucket[:n]
-	}
 }
 
 // clearEvents zeroes event values so consumed buckets do not pin process

@@ -71,13 +71,15 @@ func (k *Kernel) NewProc(name string, start uint64, body func(*Proc)) *Proc {
 	return p
 }
 
-// launch starts the process goroutine and runs it until its first yield.
-func (p *Proc) launch() {
+// start creates the process goroutine, parked on its first resume. The
+// kernel's evLaunch handler transfers the baton to it immediately after.
+func (p *Proc) start() {
 	p.started = true
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killProc); ok {
+					// Shutdown handshake: the killer waits on yield.
 					p.done = true
 					p.yield <- struct{}{}
 					return
@@ -85,11 +87,13 @@ func (p *Proc) launch() {
 				p.done = true
 				p.k.failure = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
 				p.k.stopped = true
-				p.yield <- struct{}{}
+				p.k.release() // stopped: goes straight to the driver
 				return
 			}
+			// Body returned: this goroutine holds the baton and is about to
+			// die, so it keeps the event loop going on the way out.
 			p.done = true
-			p.yield <- struct{}{}
+			p.k.release()
 		}()
 		<-p.resume
 		if p.kill {
@@ -97,24 +101,26 @@ func (p *Proc) launch() {
 		}
 		p.body(p)
 	}()
-	p.dispatch()
 }
 
-// dispatch hands control to the process goroutine and waits until it
-// parks again (in Delay/Wait) or terminates.
-func (p *Proc) dispatch() {
-	prev := p.k.running
-	p.k.running = p
-	p.resume <- struct{}{}
-	<-p.yield
-	p.k.running = prev
-}
-
-// park yields control back to the kernel and blocks until dispatched
-// again. The caller has already recorded the wait state.
+// park yields control and blocks until dispatched again. The caller has
+// already recorded the wait state and scheduled any wakeup event. The
+// parking goroutine itself carries the event loop forward: if the next
+// dispatch is its own it simply continues (no channel operation); if the
+// baton goes to another process or the driver it blocks on resume.
 func (p *Proc) park() {
-	p.yield <- struct{}{}
-	<-p.resume
+	switch p.k.advance(p) {
+	case advSelf:
+		// Inline continuation: our own wakeup was the next event.
+	case advDone:
+		// Terminal/pause condition while we hold the baton: wake the
+		// driver, then wait like any parked process (the next Run — or
+		// Shutdown — will resume or kill us).
+		p.k.driver <- struct{}{}
+		<-p.resume
+	default: // advTransferred
+		<-p.resume
+	}
 	if p.kill {
 		panic(killProc{})
 	}
