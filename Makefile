@@ -3,9 +3,12 @@
 #   make check   vet + build + full test suite + race-detector pass
 #   make test    full test suite only
 #   make race    race pass on the concurrency-sensitive packages: the
-#                sim kernel, the KPN engine, and the parallel sweep
-#                runners (guards that no *sim.Kernel is ever shared
-#                across sweep worker goroutines)
+#                sim kernel, the KPN engine, the serving subsystem, the
+#                shell transport, and the parallel sweep runners (guards
+#                that no *sim.Kernel is ever shared across sweep worker
+#                goroutines)
+#   make fuzz-smoke  a few seconds of each media-layer fuzzer — the CI
+#                    guard that the corpus-reachable code stays panic-free
 #   make bench   paper-experiment benchmarks with allocation stats
 #   make bench-media  media kernel microbenchmarks (bit I/O, VLC, SAD,
 #                     DCT, full encode) with allocation stats
@@ -22,7 +25,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check vet build test race bench bench-media perf bench-baseline benchcmp
+.PHONY: check vet build test race fuzz-smoke bench bench-media perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -36,9 +39,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/kpn
+	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
 	$(GO) test -race -run 'Encode|Golden' ./internal/media
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzBitReaderRoundTrip -fuzztime=5s ./internal/media
+	$(GO) test -run=NONE -fuzz=FuzzHuffDecode -fuzztime=5s ./internal/media
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
@@ -50,6 +57,7 @@ perf:
 	$(GO) run ./cmd/eclipse-bench kernel
 	$(GO) run ./cmd/eclipse-bench shell
 	$(GO) run ./cmd/eclipse-bench media
+	$(GO) run ./cmd/eclipse-bench loadgen
 
 bench-baseline:
 	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)

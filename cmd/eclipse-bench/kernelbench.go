@@ -61,6 +61,22 @@ type kernelBenchEntry struct {
 	MediaIDCTBlocksPerS float64 `json:"media_idct_blocks_per_sec,omitempty"`
 	MediaEncodeMBPerS   float64 `json:"media_encode_mb_per_sec,omitempty"`
 	MediaEncodeWorkers  int     `json:"media_encode_workers,omitempty"`
+
+	// Serving-path load generation (`eclipse-bench loadgen`): an
+	// in-process eclipse-serve instance driven at a target request rate
+	// by two tenants of unequal weight; every 200 response is verified
+	// bit-identical to the offline codec before the rates are recorded.
+	ServeTargetRPS   float64 `json:"serve_target_rps,omitempty"`
+	ServeAchievedRPS float64 `json:"serve_achieved_rps,omitempty"`
+	ServeWorkers     int     `json:"serve_workers,omitempty"`
+	ServeBaseSliceMs float64 `json:"serve_base_slice_ms,omitempty"`
+	ServeRequests    uint64  `json:"serve_requests,omitempty"`
+	ServeRejectRate  float64 `json:"serve_reject_rate,omitempty"`
+	ServePreemptions uint64  `json:"serve_preemptions,omitempty"`
+	ServeDecodeP50Ms float64 `json:"serve_decode_p50_ms,omitempty"`
+	ServeDecodeP99Ms float64 `json:"serve_decode_p99_ms,omitempty"`
+	ServeXcodeP50Ms  float64 `json:"serve_transcode_p50_ms,omitempty"`
+	ServeXcodeP99Ms  float64 `json:"serve_transcode_p99_ms,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.

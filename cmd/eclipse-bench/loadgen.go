@@ -1,0 +1,175 @@
+package main
+
+// Serving-path load generation: `eclipse-bench loadgen [entry-id [path]]`
+// boots the eclipse-serve subsystem in-process, drives a mixed
+// decode/transcode request stream at a target rate from two tenants of
+// unequal weight, verifies every 200 response bit-identically against
+// the offline codec, and records the serve_* fields of the perf
+// trajectory in BENCH_kernel.json (merge-preserving, like the kernel /
+// shell / media subcommands).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eclipse/internal/media"
+	"eclipse/internal/serve"
+)
+
+// loadgenBench runs the load generator and updates the trajectory file.
+func loadgenBench() {
+	id := "head-" + time.Now().Format("2006-01-02")
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("Serving-path load generation -> " + path)
+
+	const (
+		workers   = 4
+		baseSlice = 8 * time.Millisecond
+		targetRPS = 25
+		duration  = 2 * time.Second
+		xcodeQ    = 9
+	)
+
+	// Workload and offline ground truth: every server response must be
+	// bit-identical to what the batch codec produces for the same input.
+	stream := workload(176, 144, 12, 6, 1)
+	ref, err := media.Decode(stream)
+	if err != nil {
+		fail(err)
+	}
+	var wantRaw []byte
+	for _, f := range ref.DisplayFrames() {
+		wantRaw = append(wantRaw, f.Pix...)
+	}
+	wantXcode, _, _, err := media.Encode(serve.TranscodeConfig(ref.Seq, xcodeQ), ref.DisplayFrames())
+	if err != nil {
+		fail(err)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:   workers,
+		BaseSlice: baseSlice,
+		Tenants: []serve.TenantConfig{
+			{Name: "gold", Weight: 2, QueueCap: 16},
+			{Name: "bronze", Weight: 1, QueueCap: 8},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	var (
+		attempts, completed, rejected, failed, mismatched atomic.Uint64
+		wg                                                sync.WaitGroup
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	shoot := func(n int) {
+		defer wg.Done()
+		url := ts.URL + "/v1/decode"
+		want := wantRaw
+		if n%3 == 2 { // every third request transcodes
+			url = fmt.Sprintf("%s/v1/transcode?q=%d", ts.URL, xcodeQ)
+			want = wantXcode
+		}
+		tenant := "gold"
+		if n%2 == 1 {
+			tenant = "bronze"
+		}
+		req, err := http.NewRequest("POST", url, bytes.NewReader(stream))
+		if err != nil {
+			fail(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		attempts.Add(1)
+		resp, err := client.Do(req)
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case err != nil || resp.StatusCode >= 500:
+			failed.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+		case resp.StatusCode != http.StatusOK:
+			failed.Add(1)
+		case !bytes.Equal(body, want):
+			mismatched.Add(1)
+		default:
+			completed.Add(1)
+		}
+	}
+
+	tick := time.NewTicker(time.Second / targetRPS)
+	start := time.Now()
+	for n := 0; time.Since(start) < duration; n++ {
+		<-tick.C
+		wg.Add(1)
+		go shoot(n)
+	}
+	tick.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	ts.Close()
+
+	if m := mismatched.Load(); m > 0 {
+		fail(fmt.Errorf("loadgen: %d responses differ from the offline codec", m))
+	}
+	if f := failed.Load(); f > 0 {
+		fail(fmt.Errorf("loadgen: %d requests failed", f))
+	}
+	if completed.Load() == 0 {
+		fail(fmt.Errorf("loadgen: no requests completed"))
+	}
+
+	met := srv.Metrics()
+	msq := func(k serve.Kind, q float64) float64 {
+		return float64(met.Latency[k].Quantile(q)) / 1e6
+	}
+	entryDate := time.Now().Format("2006-01-02")
+	doc := loadKernelBench(path)
+	e := benchEntry(&doc, id)
+	// Merge: only the serve_* fields belong to this subcommand; the
+	// decode_*/kernel_*/shell_*/media_* results under the same ID stay.
+	e.Date = entryDate
+	e.ServeTargetRPS = targetRPS
+	e.ServeAchievedRPS = float64(completed.Load()) / elapsed.Seconds()
+	e.ServeWorkers = workers
+	e.ServeBaseSliceMs = float64(baseSlice) / 1e6
+	e.ServeRequests = attempts.Load()
+	e.ServeRejectRate = float64(rejected.Load()) / float64(attempts.Load())
+	e.ServePreemptions = met.Preemptions.Load()
+	e.ServeDecodeP50Ms = msq(serve.KindDecode, 0.50)
+	e.ServeDecodeP99Ms = msq(serve.KindDecode, 0.99)
+	e.ServeXcodeP50Ms = msq(serve.KindTranscode, 0.50)
+	e.ServeXcodeP99Ms = msq(serve.KindTranscode, 0.99)
+	saveKernelBench(path, &doc)
+
+	fmt.Printf("  load:    %d requests over %.2fs  (%.1f rps target, %.1f rps served)\n",
+		attempts.Load(), elapsed.Seconds(), float64(targetRPS), e.ServeAchievedRPS)
+	fmt.Printf("  outcome: %d ok, %d rejected (429), %d failed — all 200s bit-identical to the offline codec\n",
+		completed.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("  decode:  p50 %.2f ms  p99 %.2f ms\n", e.ServeDecodeP50Ms, e.ServeDecodeP99Ms)
+	fmt.Printf("  xcode:   p50 %.2f ms  p99 %.2f ms  (%d preemptions across the run)\n",
+		e.ServeXcodeP50Ms, e.ServeXcodeP99Ms, e.ServePreemptions)
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
+}

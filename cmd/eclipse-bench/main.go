@@ -17,6 +17,7 @@
 //	kernel      engine wall-clock speed; updates BENCH_kernel.json
 //	shell       shell-transport wall-clock speed; updates BENCH_kernel.json
 //	media       codec-kernel wall-clock speed; updates BENCH_kernel.json
+//	loadgen     serving-path load generation; updates BENCH_kernel.json
 //	all         everything above except the BENCH_kernel.json writers
 package main
 
@@ -54,6 +55,7 @@ func main() {
 		"kernel":     kernelBench,
 		"shell":      shellBench,
 		"media":      mediaBench,
+		"loadgen":    loadgenBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

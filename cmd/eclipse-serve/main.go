@@ -1,0 +1,113 @@
+// Command eclipse-serve runs the media-serving subsystem: an HTTP
+// server that admits decode / encode / transcode jobs into bounded
+// per-tenant queues and executes them on the goroutine KPN runtime
+// under the Eclipse-style weighted-round-robin scheduler (see
+// internal/serve and DESIGN.md §"Serving").
+//
+// Endpoints:
+//
+//	POST /v1/decode              ECL1 bitstream in, raw luma planes out
+//	POST /v1/encode?w=&h=[&q=..] raw luma planes in, ECL1 bitstream out
+//	POST /v1/transcode?q=        ECL1 in, re-encoded ECL1 out
+//	GET  /healthz                readiness (503 while draining)
+//	GET  /varz                   JSON status document
+//	GET  /metrics                Prometheus text exposition
+//
+// Requests carry an optional X-Tenant header (scheduling identity,
+// default "default") and an optional X-Timeout-Ms deadline that is
+// enforced end-to-end through the job's Kahn network.
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight
+// and queued jobs complete (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// tenantFlags collects repeated -tenant name:weight[:queuecap] flags.
+type tenantFlags []serve.TenantConfig
+
+func (t *tenantFlags) String() string { return fmt.Sprintf("%v", []serve.TenantConfig(*t)) }
+
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want name:weight[:queuecap], got %q", v)
+	}
+	tc := serve.TenantConfig{Name: parts[0]}
+	w, err := strconv.Atoi(parts[1])
+	if err != nil || w < 1 {
+		return fmt.Errorf("bad weight in %q", v)
+	}
+	tc.Weight = w
+	if len(parts) == 3 {
+		c, err := strconv.Atoi(parts[2])
+		if err != nil || c < 1 {
+			return fmt.Errorf("bad queue cap in %q", v)
+		}
+		tc.QueueCap = c
+	}
+	*t = append(*t, tc)
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "executor pool size (the coprocessor count)")
+		slice    = flag.Duration("slice", 5*time.Millisecond, "base scheduling slice for a weight-1 tenant")
+		queueCap = flag.Int("queue-cap", 8, "default per-tenant admission bound")
+		maxBody  = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+		poolCap  = flag.Int("frame-pool", 256, "frames retained by the shared pool")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		tenants  tenantFlags
+	)
+	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap] (repeatable)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		BaseSlice:    *slice,
+		QueueCap:     *queueCap,
+		MaxBodyBytes: *maxBody,
+		FramePoolCap: *poolCap,
+		Tenants:      tenants,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("eclipse-serve listening on %s (%d workers, %s base slice)", *addr, *workers, *slice)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("eclipse-serve: %v", err)
+	case s := <-sig:
+		log.Printf("eclipse-serve: %v — draining (budget %s)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("eclipse-serve: drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("eclipse-serve: http shutdown: %v", err)
+	}
+	log.Printf("eclipse-serve: bye")
+}

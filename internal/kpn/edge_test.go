@@ -1,0 +1,332 @@
+package kpn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fanoutGraph builds src.out -> {a.in, b.in} with one broadcast stream.
+func fanoutGraph(buf int) *Graph {
+	g := NewGraph("fanout")
+	g.AddTask("src", "source").AddOut("out")
+	g.AddTask("a", "sink").AddIn("in")
+	g.AddTask("b", "sink").AddIn("in")
+	g.MustConnect("src.out", buf, "a.in", "b.in")
+	return g
+}
+
+// TestMultiConsumerEOFAfterDrain checks the broadcast-FIFO edge case the
+// serving path leans on: after the producer closes, a consumer that has
+// not yet read anything must still drain every buffered byte and only
+// then see io.EOF — and a consumer that already drained must not block
+// the laggard's access to the buffered data.
+func TestMultiConsumerEOFAfterDrain(t *testing.T) {
+	const total = 1000
+	payload := make([]byte, total)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	fastDone := make(chan struct{})
+	var gotA, gotB []byte
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			// Write in awkward chunk sizes, then return (closing the stream).
+			for off := 0; off < total; {
+				n := 37
+				if off+n > total {
+					n = total - off
+				}
+				if err := c.Write("out", payload[off:off+n]); err != nil {
+					return err
+				}
+				off += n
+			}
+			return nil
+		},
+		"a": func(c *TaskCtx) error {
+			defer close(fastDone)
+			buf := make([]byte, 64)
+			for {
+				n, err := c.ReadSome("in", buf)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				gotA = append(gotA, buf[:n]...)
+			}
+		},
+		"b": func(c *TaskCtx) error {
+			// Start draining only after the fast consumer saw EOF, i.e.
+			// strictly after the stream closed: every byte must still be
+			// there.
+			<-fastDone
+			buf := make([]byte, 11)
+			for {
+				n, err := c.ReadSome("in", buf)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				gotB = append(gotB, buf[:n]...)
+			}
+		},
+	}
+	if err := Run(fanoutGraph(2*total), funcs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, payload) {
+		t.Fatalf("fast consumer: got %d bytes, mismatch with payload", len(gotA))
+	}
+	if !bytes.Equal(gotB, payload) {
+		t.Fatalf("slow consumer: got %d bytes after close, want all %d", len(gotB), total)
+	}
+}
+
+// TestEOFMidRecordAfterDrain checks that a ReadFull spanning the close
+// point drains the remaining bytes and reports io.ErrUnexpectedEOF, not
+// a clean EOF.
+func TestEOFMidRecordAfterDrain(t *testing.T) {
+	var gotErr error
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			return c.Write("out", make([]byte, 10))
+		},
+		"a": func(c *TaskCtx) error {
+			if err := c.Read("in", make([]byte, 7)); err != nil {
+				return err
+			}
+			gotErr = c.Read("in", make([]byte, 8)) // only 3 bytes remain
+			return nil
+		},
+		"b": func(c *TaskCtx) error { // second consumer drains cleanly
+			if err := c.Read("in", make([]byte, 10)); err != nil {
+				return err
+			}
+			if err := c.Read("in", make([]byte, 1)); err != io.EOF {
+				return errors.New("want io.EOF at record boundary")
+			}
+			return nil
+		},
+	}
+	if err := Run(fanoutGraph(64), funcs); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != io.ErrUnexpectedEOF {
+		t.Fatalf("mid-record close: got %v, want io.ErrUnexpectedEOF", gotErr)
+	}
+}
+
+// TestMidStreamProducerAbort checks that a producer returning a non-nil
+// error mid-stream poisons the network: every consumer observes the
+// failure (never a clean EOF), and Run reports it.
+func TestMidStreamProducerAbort(t *testing.T) {
+	boom := errors.New("boom")
+	var sawEOF atomic.Int32
+	consumer := func(c *TaskCtx) error {
+		buf := make([]byte, 16)
+		for {
+			_, err := c.ReadSome("in", buf)
+			if err == io.EOF {
+				sawEOF.Add(1)
+				return nil
+			}
+			if err != nil {
+				return nil // expected poison; swallow so Run reports the producer's error
+			}
+		}
+	}
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			if err := c.Write("out", make([]byte, 100)); err != nil {
+				return err
+			}
+			return boom
+		},
+		"a": consumer,
+		"b": consumer,
+	}
+	err := Run(fanoutGraph(32), funcs)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Run = %v, want the producer's abort error", err)
+	}
+	if n := sawEOF.Load(); n != 0 {
+		t.Fatalf("%d consumers saw clean EOF after a producer abort", n)
+	}
+}
+
+// TestRunContextCancel checks that cancelling the run context poisons an
+// otherwise endless network and RunContext returns the context error.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			buf := make([]byte, 8)
+			for {
+				if err := c.Write("out", buf); err != nil {
+					return nil
+				}
+			}
+		},
+		"sink": func(c *TaskCtx) error {
+			buf := make([]byte, 8)
+			for {
+				if _, err := c.ReadSome("in", buf); err != nil {
+					return nil
+				}
+				if once.CompareAndSwap(false, true) {
+					close(started)
+				}
+			}
+		},
+	}
+	g := NewGraph("cancel")
+	g.AddTask("src", "source").AddOut("out")
+	g.AddTask("dst", "sink").AddIn("in")
+	g.MustConnect("src.out", 64, "dst.in")
+	go func() {
+		<-started
+		cancel()
+	}()
+	errc := make(chan error, 1)
+	go func() { errc <- RunContext(ctx, g, funcs) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+}
+
+// TestGatePauseResume checks time-sliced stepping: closing the gate
+// parks the network at stream-operation boundaries (no further
+// progress), reopening resumes it to completion.
+func TestGatePauseResume(t *testing.T) {
+	const total = 4096
+	var moved atomic.Int64
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			buf := make([]byte, 16)
+			for off := 0; off < total; off += len(buf) {
+				if err := c.Write("out", buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"sink": func(c *TaskCtx) error {
+			buf := make([]byte, 16)
+			for {
+				n, err := c.ReadSome("in", buf)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				moved.Add(int64(n))
+				// Pace the drain so the test reliably pauses mid-stream.
+				time.Sleep(time.Millisecond)
+			}
+		},
+	}
+	g := NewGraph("gated")
+	g.AddTask("src", "source").AddOut("out")
+	g.AddTask("dst", "sink").AddIn("in")
+	g.MustConnect("src.out", 32, "dst.in")
+
+	gate := NewGate(true)
+	errc := make(chan error, 1)
+	go func() { errc <- RunContext(context.Background(), g, funcs, WithGate(gate)) }()
+
+	// Let it run a little, then pause.
+	for moved.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	gate.Close()
+	time.Sleep(20 * time.Millisecond) // settle: in-flight ops finish
+	before := moved.Load()
+	time.Sleep(50 * time.Millisecond)
+	if after := moved.Load(); after != before {
+		t.Fatalf("network progressed while gate closed: %d -> %d bytes", before, after)
+	}
+	if before == total {
+		t.Fatal("network finished before the pause; pause untested")
+	}
+	gate.Open()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("network did not finish after gate reopened")
+	}
+	if moved.Load() != total {
+		t.Fatalf("moved %d bytes, want %d", moved.Load(), total)
+	}
+}
+
+// TestCancelWhilePaused checks that a network paused by its gate still
+// unwinds when the run context is cancelled — the gate is poisoned by
+// the failure, so parked tasks wake with the error.
+func TestCancelWhilePaused(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := NewGate(true)
+	started := make(chan struct{})
+	var once atomic.Bool
+	funcs := map[string]TaskFunc{
+		"src": func(c *TaskCtx) error {
+			buf := make([]byte, 8)
+			for {
+				if err := c.Write("out", buf); err != nil {
+					return nil
+				}
+				if once.CompareAndSwap(false, true) {
+					close(started)
+				}
+			}
+		},
+		"sink": func(c *TaskCtx) error {
+			buf := make([]byte, 8)
+			for {
+				if _, err := c.ReadSome("in", buf); err != nil {
+					return nil
+				}
+			}
+		},
+	}
+	g := NewGraph("paused-cancel")
+	g.AddTask("src", "source").AddOut("out")
+	g.AddTask("dst", "sink").AddIn("in")
+	g.MustConnect("src.out", 64, "dst.in")
+
+	errc := make(chan error, 1)
+	go func() { errc <- RunContext(ctx, g, funcs, WithGate(gate)) }()
+	<-started
+	gate.Close()
+	time.Sleep(10 * time.Millisecond) // let tasks park at the gate
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("paused network did not unwind on cancel")
+	}
+}

@@ -1,0 +1,76 @@
+package kpn
+
+import "sync"
+
+// Gate is a pause/resume throttle for a running network. Task bodies
+// check it at every stream operation (Read/ReadSome/Write) and at
+// explicit Checkpoint calls — the software analogue of the coprocessor
+// processing-step boundary (paper Section 4.2): an Eclipse coprocessor
+// can be switched to another task only between processing steps, and a
+// Kahn task can be descheduled only between stream operations. Closing
+// the gate parks every task of the network at its next step boundary
+// without unwinding the goroutines; reopening resumes them in place.
+//
+// A single Gate may be shared by several sequential RunContext calls
+// (e.g. the decode and encode phases of a transcode job), so pausing
+// and resuming act on the whole job regardless of which phase is
+// active. Fail poisons the gate permanently: parked and future waiters
+// return the error, letting a cancelled network unwind even while it
+// is descheduled.
+type Gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	open bool
+	err  error
+}
+
+// NewGate returns a gate in the given initial state.
+func NewGate(open bool) *Gate {
+	g := &Gate{open: open}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Open resumes the network: parked tasks continue from their step
+// boundary.
+func (g *Gate) Open() {
+	g.mu.Lock()
+	g.open = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Close pauses the network at the next step boundary of each task.
+// Tasks already blocked inside a FIFO operation stay blocked there and
+// hit the gate on their next operation.
+func (g *Gate) Close() {
+	g.mu.Lock()
+	g.open = false
+	g.mu.Unlock()
+}
+
+// Fail poisons the gate: every current and future Wait returns err.
+// The first error wins. Fail(nil) is a no-op.
+func (g *Gate) Fail(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Wait blocks while the gate is closed. It returns nil when the gate is
+// (or becomes) open, or the poison error if the gate failed.
+func (g *Gate) Wait() error {
+	g.mu.Lock()
+	for !g.open && g.err == nil {
+		g.cond.Wait()
+	}
+	err := g.err
+	g.mu.Unlock()
+	return err
+}

@@ -93,16 +93,7 @@ func Encode(cfg CodecConfig, frames []*Frame) ([]byte, []*Frame, *EncodeStats, e
 			return nil, nil, nil, fmt.Errorf("media: frame %d is %dx%d, want %dx%d", i, f.W, f.H, cfg.W, cfg.H)
 		}
 	}
-	e := &Encoder{
-		cfg: cfg,
-		seq: SeqHeader{
-			MBCols: cfg.W / MBSize, MBRows: cfg.H / MBSize,
-			Q: cfg.Q, GOPN: cfg.GOPN, GOPM: cfg.GOPM, Frames: len(frames),
-			HalfPel: cfg.HalfPel,
-		},
-		w: NewBitWriter(),
-	}
-	WriteSeqHeader(e.w, &e.seq)
+	e := newEncoder(cfg, len(frames))
 
 	types := GOPTypes(len(frames), cfg.GOPN, cfg.GOPM)
 	order := CodedOrder(types)
@@ -111,6 +102,23 @@ func Encode(cfg CodecConfig, frames []*Frame) ([]byte, []*Frame, *EncodeStats, e
 		recon[di] = e.encodeFrame(frames[di], types[di], di)
 	}
 	return e.w.Bytes(), recon, &e.stats, nil
+}
+
+// newEncoder builds an Encoder for a declared frame count and writes the
+// sequence header. Shared by the batch Encode and the push-based
+// StreamEncoder so both produce bit-identical streams.
+func newEncoder(cfg CodecConfig, frames int) *Encoder {
+	e := &Encoder{
+		cfg: cfg,
+		seq: SeqHeader{
+			MBCols: cfg.W / MBSize, MBRows: cfg.H / MBSize,
+			Q: cfg.Q, GOPN: cfg.GOPN, GOPM: cfg.GOPM, Frames: frames,
+			HalfPel: cfg.HalfPel,
+		},
+		w: NewBitWriter(),
+	}
+	WriteSeqHeader(e.w, &e.seq)
+	return e
 }
 
 // encodeFrame codes one frame and returns its reconstruction, updating

@@ -1,5 +1,7 @@
 package media
 
+import "sync"
+
 // FramePool is a free list for per-GOP temporary frames. Decoder loops
 // that assemble frames only to use them as motion-compensation
 // references (and then drop them when the reference chain advances) can
@@ -45,4 +47,55 @@ func (p *FramePool) Put(f *Frame) {
 		return
 	}
 	p.free = append(p.free, f)
+}
+
+// SyncFramePool is a FramePool safe for concurrent use: a process-wide
+// frame free list shared across requests, so a long-running server
+// reuses pixel storage between jobs instead of allocating fresh frames
+// per request. The same ownership rule as FramePool applies: a frame
+// handed to Put must have no other live references.
+type SyncFramePool struct {
+	mu   sync.Mutex
+	pool FramePool
+	max  int // bound on retained frames; 0 = unbounded
+}
+
+// NewSyncFramePool returns a concurrency-safe pool retaining at most
+// maxRetained frames (0 for no bound).
+func NewSyncFramePool(maxRetained int) *SyncFramePool {
+	return &SyncFramePool{max: maxRetained}
+}
+
+// Get returns a zeroed w×h frame, reusing pooled storage when available.
+func (p *SyncFramePool) Get(w, h int) *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Get(w, h)
+}
+
+// Put returns a frame (or nil, a no-op) to the pool, dropping it when
+// the retention bound is reached.
+func (p *SyncFramePool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.max == 0 || len(p.pool.free) < p.max {
+		p.pool.Put(f)
+	}
+	p.mu.Unlock()
+}
+
+// PutAll recycles a batch of frames, ignoring nils.
+func (p *SyncFramePool) PutAll(frames []*Frame) {
+	for _, f := range frames {
+		p.Put(f)
+	}
+}
+
+// Retained reports how many frames the pool currently holds.
+func (p *SyncFramePool) Retained() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pool.free)
 }

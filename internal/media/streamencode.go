@@ -1,0 +1,95 @@
+package media
+
+import "fmt"
+
+// StreamEncoder is a push-based incremental encoder: callers feed frames
+// one at a time in display order and receive the coded bitstream at
+// Close. It reorders internally (buffering B frames until their backward
+// reference arrives) and drives the exact same per-frame encoding path
+// as Encode, so for the same configuration and frames the bitstream is
+// bit-identical to Encode's — the contract the serving path's
+// correctness checks rely on.
+//
+// The total frame count must be declared up front (the sequence header
+// carries it, and the GOP structure depends on it).
+type StreamEncoder struct {
+	// Recycle, when non-nil, is called with each source frame as soon as
+	// the encoder is done reading it (its macroblocks are coded and it
+	// will never be referenced again) — the hook a serving path uses to
+	// return request frames to a shared pool.
+	Recycle func(*Frame)
+
+	enc     *Encoder
+	types   []FrameType // display order
+	order   []int       // coded order (display indices)
+	pushed  int         // frames received so far (display order)
+	coded   int         // prefix of order already encoded
+	pending map[int]*Frame
+	closed  bool
+}
+
+// NewStreamEncoder validates the configuration and prepares an encoder
+// for exactly `frames` pushes.
+func NewStreamEncoder(cfg CodecConfig, frames int) (*StreamEncoder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if frames <= 0 || frames > 0xFFFF {
+		return nil, fmt.Errorf("media: frame count %d out of range", frames)
+	}
+	types := GOPTypes(frames, cfg.GOPN, cfg.GOPM)
+	return &StreamEncoder{
+		enc:     newEncoder(cfg, frames),
+		types:   types,
+		order:   CodedOrder(types),
+		pending: map[int]*Frame{},
+	}, nil
+}
+
+// Push feeds the next display-order frame. Frames whose references are
+// not yet complete are buffered; everything codeable is coded eagerly,
+// so peak buffering is bounded by the GOP's M parameter.
+func (e *StreamEncoder) Push(f *Frame) error {
+	if e.closed {
+		return fmt.Errorf("media: push on closed StreamEncoder")
+	}
+	if e.pushed >= len(e.types) {
+		return fmt.Errorf("media: more than the declared %d frames pushed", len(e.types))
+	}
+	if f.W != e.enc.cfg.W || f.H != e.enc.cfg.H {
+		return fmt.Errorf("media: frame %d is %dx%d, want %dx%d", e.pushed, f.W, f.H, e.enc.cfg.W, e.enc.cfg.H)
+	}
+	e.pending[e.pushed] = f
+	e.pushed++
+	// Encode the coded-order prefix that is now available.
+	for e.coded < len(e.order) {
+		di := e.order[e.coded]
+		src, ok := e.pending[di]
+		if !ok {
+			break
+		}
+		delete(e.pending, di)
+		e.enc.encodeFrame(src, e.types[di], di)
+		e.coded++
+		if e.Recycle != nil {
+			e.Recycle(src)
+		}
+	}
+	return nil
+}
+
+// Close finalizes the stream after all declared frames were pushed and
+// returns the bitstream and the per-frame statistics.
+func (e *StreamEncoder) Close() ([]byte, *EncodeStats, error) {
+	if e.closed {
+		return nil, nil, fmt.Errorf("media: StreamEncoder closed twice")
+	}
+	e.closed = true
+	if e.pushed != len(e.types) {
+		return nil, nil, fmt.Errorf("media: closed after %d of %d declared frames", e.pushed, len(e.types))
+	}
+	if e.coded != len(e.order) {
+		return nil, nil, fmt.Errorf("media: internal reorder stall at coded frame %d", e.coded)
+	}
+	return e.enc.w.Bytes(), &e.enc.stats, nil
+}

@@ -1,0 +1,112 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamEncoderBitIdentical proves the push-based encoder emits the
+// exact bytes of the batch encoder for B-frame GOPs (reordering) and
+// IPPP GOPs (no reordering), including the half-pel mode.
+func TestStreamEncoderBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		frames int
+		mut    func(*CodecConfig)
+	}{
+		{"ibbp", 10, func(c *CodecConfig) {}},
+		{"ippp", 7, func(c *CodecConfig) { c.GOPM = 1 }},
+		{"halfpel", 9, func(c *CodecConfig) { c.HalfPel = true }},
+		{"single", 1, func(c *CodecConfig) {}},
+		{"tail-b-promoted", 6, func(c *CodecConfig) { c.GOPN = 12; c.GOPM = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := DefaultSource(96, 80)
+			src.Seed = 11
+			frames := NewSource(src).Frames(tc.frames)
+			cfg := DefaultCodec(96, 80)
+			tc.mut(&cfg)
+
+			want, _, wantStats, err := Encode(cfg, frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := NewStreamEncoder(cfg, len(frames))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range frames {
+				if err := se.Push(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, gotStats, err := se.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stream encoder bitstream differs: %d vs %d bytes", len(got), len(want))
+			}
+			if gotStats.TotalBits() != wantStats.TotalBits() {
+				t.Fatalf("stats differ: %d vs %d bits", gotStats.TotalBits(), wantStats.TotalBits())
+			}
+		})
+	}
+}
+
+// TestStreamEncoderMisuse covers the declared-count contract.
+func TestStreamEncoderMisuse(t *testing.T) {
+	cfg := DefaultCodec(32, 32)
+	frames := NewSource(DefaultSource(32, 32)).Frames(3)
+
+	se, err := NewStreamEncoder(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Push(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := se.Close(); err == nil {
+		t.Fatal("Close after 1 of 2 frames should fail")
+	}
+
+	se, _ = NewStreamEncoder(cfg, 2)
+	se.Push(frames[0])
+	se.Push(frames[1])
+	if err := se.Push(frames[2]); err == nil {
+		t.Fatal("Push beyond the declared count should fail")
+	}
+
+	if _, err := NewStreamEncoder(cfg, 0); err == nil {
+		t.Fatal("zero declared frames should fail")
+	}
+
+	se, _ = NewStreamEncoder(cfg, 1)
+	if err := se.Push(NewFrame(64, 32)); err == nil {
+		t.Fatal("wrong-size frame should fail")
+	}
+}
+
+// TestSyncFramePool checks reuse, the retention bound, and zeroing.
+func TestSyncFramePool(t *testing.T) {
+	p := NewSyncFramePool(2)
+	a := p.Get(32, 32)
+	a.Pix[0] = 99
+	b := p.Get(32, 32)
+	p.Put(a)
+	p.Put(b)
+	p.Put(p.Get(32, 32)) // at bound: third Put drops
+	if got := p.Retained(); got != 2 {
+		t.Fatalf("retained %d frames, want 2 (bound)", got)
+	}
+	c := p.Get(32, 32)
+	if c.Pix[0] != 0 {
+		t.Fatal("pooled frame not zeroed on Get")
+	}
+	if d := p.Get(16, 16); d == nil || d.W != 16 {
+		t.Fatal("size-mismatched Get must allocate fresh")
+	}
+	p.Put(nil) // no-op
+	p.PutAll([]*Frame{nil, c})
+}

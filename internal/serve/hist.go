@@ -1,0 +1,130 @@
+// Package serve is the production media-serving subsystem: an HTTP
+// front end that admits decode / encode / transcode jobs into bounded
+// per-tenant queues and executes them on the goroutine KPN runtime under
+// an Eclipse-style scheduler (see DESIGN.md §"Serving" for the full
+// mapping). The paper's concepts translate as:
+//
+//   - worker ⇔ coprocessor: a fixed pool of workers each runs a
+//     weighted round-robin loop over the tenant queues (Section 5.3's
+//     distributed task scheduling);
+//   - tenant queue ⇔ task-table row: the unit the round-robin rotates
+//     over, with a per-tenant weight;
+//   - time slice ⇔ cycle budget: a job runs for weight×BaseSlice of
+//     wall clock, then is preempted at a KPN step boundary (gate) and
+//     requeued behind its tenant's other jobs;
+//   - 429 ⇔ GetSpace failure: admission is a bounded space claim; a
+//     full tenant queue rejects instead of buffering unboundedly, and
+//     the client retries later (Retry-After), exactly like a producer
+//     blocked on PutSpace backpressure.
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket 0
+// holds sub-microsecond observations; bucket i holds durations in
+// (2^(i-1), 2^i] microseconds; the last bucket is a catch-all (≈9 min
+// and beyond at 39 buckets).
+const histBuckets = 40
+
+// Hist is a lock-free latency histogram: fixed power-of-two buckets over
+// microseconds, updated with a single atomic add per observation. It is
+// safe for concurrent Observe and Snapshot; quantiles are approximate
+// (bucket-midpoint), which is all a /metrics endpoint needs.
+type Hist struct {
+	count atomic.Uint64
+	sumNs atomic.Int64
+	b     [histBuckets]atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperUS returns bucket i's inclusive upper bound in microseconds.
+func BucketUpperUS(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	h.b[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sumNs.Load()) / n)
+}
+
+// Quantile returns an approximation of the q-quantile (0 < q ≤ 1): the
+// midpoint of the bucket containing the q·count-th sample.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.b[i].Load()
+		if cum >= rank {
+			hi := BucketUpperUS(i)
+			lo := hi / 2
+			if i == 0 {
+				lo = 0
+			}
+			return time.Duration((lo + hi) / 2 * uint64(time.Microsecond))
+		}
+	}
+	return time.Duration(BucketUpperUS(histBuckets-1)) * time.Microsecond
+}
+
+// HistSnapshot is a consistent-enough copy for rendering: buckets are
+// read individually, so a snapshot taken under load may be off by the
+// samples that landed mid-read — fine for monitoring.
+type HistSnapshot struct {
+	Count   uint64
+	SumNs   int64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram state.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.b[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"eclipse"
+	"eclipse/internal/copro"
+	"eclipse/internal/kpn"
+	"eclipse/internal/media"
+)
+
+// Kind classifies a job.
+type Kind uint8
+
+const (
+	KindDecode Kind = iota
+	KindEncode
+	KindTranscode
+	nKinds
+)
+
+// String names the kind for metrics labels.
+func (k Kind) String() string {
+	switch k {
+	case KindDecode:
+		return "decode"
+	case KindEncode:
+		return "encode"
+	case KindTranscode:
+		return "transcode"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Result is a completed job's response payload.
+type Result struct {
+	Body []byte
+	Meta map[string]string // response headers (X-Seq-*)
+}
+
+// Job is one admitted unit of work. Its body executes on the KPN runtime
+// under the job's gate, so the scheduler can pause and resume the whole
+// network at stream-operation boundaries; the context carries the
+// request deadline end-to-end through the KPN task bodies.
+type Job struct {
+	Tenant string
+	Kind   Kind
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	gate   *kpn.Gate
+	body   func(ctx context.Context, gate *kpn.Gate) (Result, error)
+	done   chan struct{}
+	res    Result
+	err    error
+
+	// Scheduler-owned state: guarded by the scheduler's mutex or by the
+	// single worker holding the job. preempts is atomic because a worker
+	// may record a preemption in the same instant the body finishes and
+	// the submitter reads the count.
+	started   bool
+	preempts  atomic.Int32
+	serviceNs int64
+	enq       time.Time
+	firstRun  time.Time
+}
+
+// NewJob wraps a body as a schedulable job. The gate starts closed; the
+// first scheduling slice opens it.
+func NewJob(tenant string, kind Kind, ctx context.Context,
+	body func(ctx context.Context, gate *kpn.Gate) (Result, error)) *Job {
+	jctx, cancel := context.WithCancel(ctx)
+	return &Job{
+		Tenant: tenant,
+		Kind:   kind,
+		ctx:    jctx,
+		cancel: cancel,
+		gate:   kpn.NewGate(false),
+		body:   body,
+		done:   make(chan struct{}),
+	}
+}
+
+// run executes the body; spawned once, by the first worker slice.
+func (j *Job) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = fmt.Errorf("serve: job panicked: %v", r)
+		}
+		close(j.done)
+	}()
+	j.res, j.err = j.body(j.ctx, j.gate)
+}
+
+// Done is closed when the job has finished (successfully or not).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: its KPN network is poisoned and unwinds even if
+// currently descheduled.
+func (j *Job) Cancel() { j.cancel() }
+
+// Result returns the outcome; valid only after Done is closed.
+func (j *Job) Result() (Result, error) { return j.res, j.err }
+
+// Preempts reports how many times the scheduler preempted the job.
+func (j *Job) Preempts() int { return int(j.preempts.Load()) }
+
+// serveDecodeBuffers sizes the decode pipeline's FIFO buffers for a
+// software server: the cycle model's defaults emulate a 32 kB on-chip
+// SRAM and would force a task switch every few hundred bytes; here the
+// buffers only bound memory per in-flight job (~26 kB each), so larger
+// ones cut goroutine ping-pong.
+func serveDecodeBuffers() eclipse.DecodeBuffers {
+	return eclipse.DecodeBuffers{
+		Bits:  4096,
+		Tok:   8192,
+		Hdr:   2048,
+		Coef:  8192,
+		Resid: 8192,
+		Pix:   8192,
+	}
+}
+
+// rawChunk is the transfer unit for streaming raw frames into an encode
+// pipeline.
+const rawChunk = 8192
+
+// NewDecodeJob builds a job that decodes an ECL1 bitstream on the
+// six-task KPN decode pipeline (src→vld→rlsq→idct→mc→sink) and returns
+// the display-order frames concatenated as raw 8-bit luma planes.
+// The sequence header is validated synchronously so malformed requests
+// fail before admission.
+func NewDecodeJob(ctx context.Context, tenant string, stream []byte, pool *media.SyncFramePool) (*Job, error) {
+	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
+	if err != nil {
+		return nil, err
+	}
+	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+		var sink copro.FunctionalSink
+		g := eclipse.DecodeGraph("job", serveDecodeBuffers())
+		funcs := copro.FunctionalDecodeFuncsPooled(stream, seq, &sink, pool)
+		if err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate)); err != nil {
+			pool.PutAll(sink.Frames)
+			return Result{}, err
+		}
+		plane := seq.W() * seq.H()
+		out := make([]byte, 0, len(sink.Frames)*plane)
+		for i, f := range sink.Frames {
+			if f == nil {
+				pool.PutAll(sink.Frames)
+				return Result{}, fmt.Errorf("serve: decoded stream missing frame %d", i)
+			}
+			out = append(out, f.Pix...)
+		}
+		pool.PutAll(sink.Frames)
+		return Result{Body: out, Meta: seqMeta(seq, len(sink.Frames))}, nil
+	}
+	return NewJob(tenant, KindDecode, ctx, body), nil
+}
+
+// NewEncodeJob builds a job that encodes raw display-order luma frames
+// (len(raw) must be frames×W×H bytes) into an ECL1 bitstream. The raw
+// plane is streamed through a two-task KPN graph (rawsrc→enc) so the
+// job is preemptible at frame granularity; the encode itself is the
+// push-based StreamEncoder, bit-identical to the batch encoder.
+func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw []byte, pool *media.SyncFramePool) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plane := cfg.W * cfg.H
+	if len(raw) == 0 || len(raw)%plane != 0 {
+		return nil, fmt.Errorf("serve: raw payload %d bytes is not a multiple of the %dx%d frame plane", len(raw), cfg.W, cfg.H)
+	}
+	frames := len(raw) / plane
+	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+		g := kpn.NewGraph("encjob")
+		g.AddTask("src", "rawsrc").AddOut("raw")
+		g.AddTask("enc", "encode").AddIn("raw")
+		g.MustConnect("src.raw", 2*rawChunk, "enc.raw")
+		var (
+			stream []byte
+			stats  *media.EncodeStats
+		)
+		funcs := map[string]kpn.TaskFunc{
+			"rawsrc": func(c *kpn.TaskCtx) error {
+				for off := 0; off < len(raw); off += rawChunk {
+					end := off + rawChunk
+					if end > len(raw) {
+						end = len(raw)
+					}
+					if err := c.Write("raw", raw[off:end]); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			"encode": func(c *kpn.TaskCtx) error {
+				se, err := media.NewStreamEncoder(cfg, frames)
+				if err != nil {
+					return err
+				}
+				se.Recycle = pool.Put
+				for i := 0; i < frames; i++ {
+					f := pool.Get(cfg.W, cfg.H)
+					if err := c.Read("raw", f.Pix); err != nil {
+						pool.Put(f)
+						return fmt.Errorf("frame %d: %w", i, err)
+					}
+					if err := se.Push(f); err != nil {
+						pool.Put(f)
+						return err
+					}
+				}
+				stream, stats, err = se.Close()
+				return err
+			},
+		}
+		if err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate)); err != nil {
+			return Result{}, err
+		}
+		meta := map[string]string{
+			"X-Seq-Width":  strconv.Itoa(cfg.W),
+			"X-Seq-Height": strconv.Itoa(cfg.H),
+			"X-Seq-Frames": strconv.Itoa(frames),
+			"X-Seq-Bits":   strconv.Itoa(stats.TotalBits()),
+		}
+		return Result{Body: stream, Meta: meta}, nil
+	}
+	return NewJob(tenant, KindEncode, ctx, body), nil
+}
+
+// NewTranscodeJob builds a job that decodes a bitstream on the KPN
+// pipeline and re-encodes it at quantizer q (GOP structure, dimensions,
+// and half-pel mode inherited from the source sequence header). The
+// encode phase runs as a single Kahn task checkpointing once per frame,
+// so both phases are preemptible and share the job's gate and deadline.
+func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool) (*Job, error) {
+	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
+	if err != nil {
+		return nil, err
+	}
+	cfg := TranscodeConfig(seq, q)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+		// Phase 1: KPN decode into pooled frames.
+		var sink copro.FunctionalSink
+		dg := eclipse.DecodeGraph("job", serveDecodeBuffers())
+		funcs := copro.FunctionalDecodeFuncsPooled(stream, seq, &sink, pool)
+		if err := kpn.RunContext(ctx, dg, funcs, kpn.WithGate(gate)); err != nil {
+			pool.PutAll(sink.Frames)
+			return Result{}, err
+		}
+		// Phase 2: re-encode as a single checkpointed Kahn task under the
+		// same gate, recycling each source frame once coded.
+		eg := kpn.NewGraph("xcode")
+		eg.AddTask("enc", "encode")
+		var out []byte
+		var stats *media.EncodeStats
+		efuncs := map[string]kpn.TaskFunc{
+			"encode": func(c *kpn.TaskCtx) error {
+				se, err := media.NewStreamEncoder(cfg, len(sink.Frames))
+				if err != nil {
+					return err
+				}
+				se.Recycle = pool.Put
+				for i, f := range sink.Frames {
+					if err := c.Checkpoint(); err != nil {
+						return err
+					}
+					if f == nil {
+						return fmt.Errorf("serve: decoded stream missing frame %d", i)
+					}
+					sink.Frames[i] = nil // ownership moves to the encoder
+					if err := se.Push(f); err != nil {
+						pool.Put(f)
+						return err
+					}
+				}
+				out, stats, err = se.Close()
+				return err
+			},
+		}
+		if err := kpn.RunContext(ctx, eg, efuncs, kpn.WithGate(gate)); err != nil {
+			pool.PutAll(sink.Frames) // frames not yet handed to the encoder
+			return Result{}, err
+		}
+		meta := seqMeta(seq, seq.Frames)
+		meta["X-Seq-Q"] = strconv.Itoa(q)
+		meta["X-Seq-Bits"] = strconv.Itoa(stats.TotalBits())
+		return Result{Body: out, Meta: meta}, nil
+	}
+	return NewJob(tenant, KindTranscode, ctx, body), nil
+}
+
+// TranscodeConfig derives the re-encode configuration for a source
+// sequence at a new quantizer: dimensions, GOP structure, and half-pel
+// mode follow the source; the motion search radius is the codec default.
+// Exported so offline reference checks (loadgen, tests) reproduce the
+// server's output bit-exactly.
+func TranscodeConfig(seq media.SeqHeader, q int) media.CodecConfig {
+	cfg := media.DefaultCodec(seq.W(), seq.H())
+	cfg.Q = q
+	cfg.GOPN = seq.GOPN
+	cfg.GOPM = seq.GOPM
+	cfg.HalfPel = seq.HalfPel
+	return cfg
+}
+
+// seqMeta renders sequence parameters as response headers.
+func seqMeta(seq media.SeqHeader, frames int) map[string]string {
+	return map[string]string{
+		"X-Seq-Width":  strconv.Itoa(seq.W()),
+		"X-Seq-Height": strconv.Itoa(seq.H()),
+		"X-Seq-Frames": strconv.Itoa(frames),
+	}
+}

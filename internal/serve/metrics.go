@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the subsystem's global counters: per-kind request /
+// error counts and latency histograms, admission rejects, scheduler
+// preemptions, and byte totals. Everything is atomic — the hot path
+// (Submit, finish) never takes a metrics lock.
+type Metrics struct {
+	Start       time.Time
+	Requests    [nKinds]atomic.Uint64
+	Errors      [nKinds]atomic.Uint64
+	Latency     [nKinds]Hist
+	Rejects     atomic.Uint64
+	Preemptions atomic.Uint64
+	BytesIn     atomic.Uint64
+	BytesOut    atomic.Uint64
+}
+
+// NewMetrics returns a zeroed registry stamped with the start time.
+func NewMetrics() *Metrics { return &Metrics{Start: time.Now()} }
+
+// TenantSnapshot is one tenant's row in /varz and /metrics.
+type TenantSnapshot struct {
+	Name       string  `json:"name"`
+	Weight     int     `json:"weight"`
+	QueueCap   int     `json:"queue_cap"`
+	QueueDepth int     `json:"queue_depth"`
+	Admitted   int     `json:"admitted"`
+	Completed  uint64  `json:"completed"`
+	Errors     uint64  `json:"errors"`
+	Rejects    uint64  `json:"rejects"`
+	Preempts   uint64  `json:"preempts"`
+	ServiceSec float64 `json:"service_sec"`
+	EwmaJobMs  float64 `json:"ewma_job_ms"`
+}
+
+// KindSnapshot is one job kind's latency/traffic row.
+type KindSnapshot struct {
+	Kind     string  `json:"kind"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Snapshot is the /varz document.
+type Snapshot struct {
+	State       string           `json:"state"`
+	UptimeSec   float64          `json:"uptime_sec"`
+	Workers     int              `json:"workers"`
+	BaseSliceMs float64          `json:"base_slice_ms"`
+	Admitted    int              `json:"admitted"`
+	Rejects     uint64           `json:"rejects_total"`
+	Preemptions uint64           `json:"preemptions_total"`
+	BytesIn     uint64           `json:"bytes_in_total"`
+	BytesOut    uint64           `json:"bytes_out_total"`
+	Kinds       []KindSnapshot   `json:"kinds"`
+	Tenants     []TenantSnapshot `json:"tenants"`
+	PooledFrame int              `json:"frame_pool_retained"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// kindSnapshots collects the per-kind rows.
+func (m *Metrics) kindSnapshots() []KindSnapshot {
+	out := make([]KindSnapshot, 0, int(nKinds))
+	for k := Kind(0); k < nKinds; k++ {
+		h := &m.Latency[k]
+		out = append(out, KindSnapshot{
+			Kind:     k.String(),
+			Requests: m.Requests[k].Load(),
+			Errors:   m.Errors[k].Load(),
+			P50Ms:    ms(h.Quantile(0.50)),
+			P90Ms:    ms(h.Quantile(0.90)),
+			P99Ms:    ms(h.Quantile(0.99)),
+			MeanMs:   ms(h.Mean()),
+		})
+	}
+	return out
+}
+
+// WritePrometheus renders the Prometheus text exposition format
+// (counters, gauges, and the per-kind latency histograms) without any
+// external dependency.
+func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained int) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP eclipse_serve_uptime_seconds Time since server start.\n")
+	p("# TYPE eclipse_serve_uptime_seconds gauge\n")
+	p("eclipse_serve_uptime_seconds %g\n", time.Since(m.Start).Seconds())
+
+	p("# HELP eclipse_serve_requests_total Admitted jobs by kind.\n")
+	p("# TYPE eclipse_serve_requests_total counter\n")
+	for k := Kind(0); k < nKinds; k++ {
+		p("eclipse_serve_requests_total{kind=%q} %d\n", k.String(), m.Requests[k].Load())
+	}
+	p("# HELP eclipse_serve_errors_total Failed jobs by kind.\n")
+	p("# TYPE eclipse_serve_errors_total counter\n")
+	for k := Kind(0); k < nKinds; k++ {
+		p("eclipse_serve_errors_total{kind=%q} %d\n", k.String(), m.Errors[k].Load())
+	}
+
+	p("# HELP eclipse_serve_admission_rejects_total Jobs rejected by full tenant queues (the GetSpace-failure path).\n")
+	p("# TYPE eclipse_serve_admission_rejects_total counter\n")
+	p("eclipse_serve_admission_rejects_total %d\n", m.Rejects.Load())
+
+	p("# HELP eclipse_serve_preemptions_total Scheduling slices that ended in preemption.\n")
+	p("# TYPE eclipse_serve_preemptions_total counter\n")
+	p("eclipse_serve_preemptions_total %d\n", m.Preemptions.Load())
+
+	p("# HELP eclipse_serve_bytes_in_total Request payload bytes accepted.\n")
+	p("# TYPE eclipse_serve_bytes_in_total counter\n")
+	p("eclipse_serve_bytes_in_total %d\n", m.BytesIn.Load())
+	p("# HELP eclipse_serve_bytes_out_total Response payload bytes sent.\n")
+	p("# TYPE eclipse_serve_bytes_out_total counter\n")
+	p("eclipse_serve_bytes_out_total %d\n", m.BytesOut.Load())
+
+	p("# HELP eclipse_serve_frame_pool_retained Frames held by the shared cross-request pool.\n")
+	p("# TYPE eclipse_serve_frame_pool_retained gauge\n")
+	p("eclipse_serve_frame_pool_retained %d\n", poolRetained)
+
+	tenants := sched.SnapshotTenants()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })
+	p("# HELP eclipse_serve_queue_depth Jobs waiting in the tenant queue.\n")
+	p("# TYPE eclipse_serve_queue_depth gauge\n")
+	for _, t := range tenants {
+		p("eclipse_serve_queue_depth{tenant=%q} %d\n", t.Name, t.QueueDepth)
+	}
+	p("# HELP eclipse_serve_tenant_admitted Jobs admitted and unfinished (waiting + running).\n")
+	p("# TYPE eclipse_serve_tenant_admitted gauge\n")
+	for _, t := range tenants {
+		p("eclipse_serve_tenant_admitted{tenant=%q} %d\n", t.Name, t.Admitted)
+	}
+	p("# HELP eclipse_serve_tenant_completed_total Jobs finished successfully.\n")
+	p("# TYPE eclipse_serve_tenant_completed_total counter\n")
+	for _, t := range tenants {
+		p("eclipse_serve_tenant_completed_total{tenant=%q} %d\n", t.Name, t.Completed)
+	}
+	p("# HELP eclipse_serve_tenant_rejects_total Admission rejects per tenant.\n")
+	p("# TYPE eclipse_serve_tenant_rejects_total counter\n")
+	for _, t := range tenants {
+		p("eclipse_serve_tenant_rejects_total{tenant=%q} %d\n", t.Name, t.Rejects)
+	}
+	p("# HELP eclipse_serve_tenant_preemptions_total Slice preemptions per tenant.\n")
+	p("# TYPE eclipse_serve_tenant_preemptions_total counter\n")
+	for _, t := range tenants {
+		p("eclipse_serve_tenant_preemptions_total{tenant=%q} %d\n", t.Name, t.Preempts)
+	}
+	p("# HELP eclipse_serve_tenant_service_seconds_total Wall-clock execution time per tenant.\n")
+	p("# TYPE eclipse_serve_tenant_service_seconds_total counter\n")
+	for _, t := range tenants {
+		p("eclipse_serve_tenant_service_seconds_total{tenant=%q} %g\n", t.Name, t.ServiceSec)
+	}
+
+	p("# HELP eclipse_serve_latency_seconds End-to-end job latency (admission to completion).\n")
+	p("# TYPE eclipse_serve_latency_seconds histogram\n")
+	for k := Kind(0); k < nKinds; k++ {
+		snap := m.Latency[k].Snapshot()
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += snap.Buckets[i]
+			le := float64(BucketUpperUS(i)) / 1e6
+			p("eclipse_serve_latency_seconds_bucket{kind=%q,le=%q} %d\n", k.String(), fmt.Sprintf("%g", le), cum)
+		}
+		p("eclipse_serve_latency_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k.String(), snap.Count)
+		p("eclipse_serve_latency_seconds_sum{kind=%q} %g\n", k.String(), float64(snap.SumNs)/1e9)
+		p("eclipse_serve_latency_seconds_count{kind=%q} %d\n", k.String(), snap.Count)
+	}
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"eclipse/internal/media"
+)
+
+// Server is the HTTP front end: it owns the scheduler, the metrics
+// registry, and the shared cross-request frame pool, and exposes the
+// media endpoints plus /healthz, /varz, and /metrics.
+type Server struct {
+	cfg   Config
+	sched *Scheduler
+	met   *Metrics
+	pool  *media.SyncFramePool
+	mux   *http.ServeMux
+}
+
+// New builds a server (and starts its scheduler workers).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := NewMetrics()
+	s := &Server{
+		cfg:   cfg,
+		met:   met,
+		sched: NewScheduler(cfg, met),
+		pool:  media.NewSyncFramePool(cfg.FramePoolCap),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	s.mux.HandleFunc("POST /v1/encode", s.handleEncode)
+	s.mux.HandleFunc("POST /v1/transcode", s.handleTranscode)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the scheduler for tests and the load generator.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Shutdown drains the scheduler: admission stops (Submit and the HTTP
+// handlers return 503), queued and running jobs complete, workers exit.
+// If ctx expires first, the remainder is cancelled.
+func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// tenantOf extracts the tenant name from the request.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// requestCtx derives the job context: the client's disconnect context,
+// tightened by an optional X-Timeout-Ms deadline.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	h := r.Header.Get("X-Timeout-Ms")
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("serve: bad X-Timeout-Ms %q", h)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// readBody slurps the request payload under the configured cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	s.met.BytesIn.Add(uint64(len(body)))
+	return body, nil
+}
+
+// httpError writes a plain-text error with the right status code.
+func httpError(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+// submitAndWait runs the common tail of every media endpoint: submit the
+// job, map admission rejections, wait for completion (or client
+// disconnect / deadline), and classify the outcome.
+func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx context.Context, j *Job) {
+	if err := s.sched.Submit(j); err != nil {
+		var qf *QueueFullError
+		switch {
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Seconds())))
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		// Client gone or deadline hit: poison the job's network and wait
+		// for it to unwind so its admission space is released in order.
+		j.Cancel()
+		<-j.Done()
+	}
+
+	res, err := j.Result()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			// Client disconnected; the status code is for the log only.
+			httpError(w, 499, err)
+		case errors.Is(err, media.ErrBitstream):
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	for k, v := range res.Meta {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("X-Job-Preempts", strconv.Itoa(j.Preempts()))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.Body)))
+	w.WriteHeader(http.StatusOK)
+	n, _ := w.Write(res.Body)
+	s.met.BytesOut.Add(uint64(n))
+}
+
+// handleDecode serves POST /v1/decode: body is an ECL1 bitstream, the
+// response is the concatenated raw display-order luma planes.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := NewDecodeJob(ctx, tenantOf(r), body, s.pool)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitAndWait(w, r, ctx, j)
+}
+
+// encodeConfig parses the encode query parameters into a codec config.
+// Unset parameters fall back to the codec defaults for the given size.
+func encodeConfig(r *http.Request) (media.CodecConfig, error) {
+	q := r.URL.Query()
+	geti := func(key string, def int) (int, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("serve: bad %s=%q", key, v)
+		}
+		return n, nil
+	}
+	w, err := geti("w", 0)
+	if err != nil {
+		return media.CodecConfig{}, err
+	}
+	h, err := geti("h", 0)
+	if err != nil {
+		return media.CodecConfig{}, err
+	}
+	if w <= 0 || h <= 0 {
+		return media.CodecConfig{}, fmt.Errorf("serve: encode requires w and h query parameters")
+	}
+	cfg := media.DefaultCodec(w, h)
+	if cfg.Q, err = geti("q", cfg.Q); err != nil {
+		return media.CodecConfig{}, err
+	}
+	if cfg.GOPN, err = geti("gopn", cfg.GOPN); err != nil {
+		return media.CodecConfig{}, err
+	}
+	if cfg.GOPM, err = geti("gopm", cfg.GOPM); err != nil {
+		return media.CodecConfig{}, err
+	}
+	if cfg.SearchRange, err = geti("search", cfg.SearchRange); err != nil {
+		return media.CodecConfig{}, err
+	}
+	switch q.Get("halfpel") {
+	case "", "0", "false":
+	case "1", "true":
+		cfg.HalfPel = true
+	default:
+		return media.CodecConfig{}, fmt.Errorf("serve: bad halfpel=%q", q.Get("halfpel"))
+	}
+	return cfg, nil
+}
+
+// handleEncode serves POST /v1/encode?w=&h=[&q=&gopn=&gopm=&search=&halfpel=]:
+// body is frames×w×h bytes of raw luma, the response is an ECL1 bitstream.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	cfg, err := encodeConfig(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := NewEncodeJob(ctx, tenantOf(r), cfg, body, s.pool)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitAndWait(w, r, ctx, j)
+}
+
+// handleTranscode serves POST /v1/transcode?q=: body is an ECL1
+// bitstream, the response is the same sequence re-encoded at quantizer q.
+func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	qs := r.URL.Query().Get("q")
+	if qs == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: transcode requires the q query parameter"))
+		return
+	}
+	q, err := strconv.Atoi(qs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad q=%q", qs))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := NewTranscodeJob(ctx, tenantOf(r), body, q, s.pool)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitAndWait(w, r, ctx, j)
+}
+
+// handleHealthz reports readiness: 200 while running, 503 once draining
+// (load balancers stop routing here during graceful shutdown).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := s.sched.StateString()
+	if state != "running" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, state)
+}
+
+// varz assembles the JSON status document.
+func (s *Server) varz() Snapshot {
+	return Snapshot{
+		State:       s.sched.StateString(),
+		UptimeSec:   time.Since(s.met.Start).Seconds(),
+		Workers:     s.cfg.Workers,
+		BaseSliceMs: ms(s.cfg.BaseSlice),
+		Admitted:    s.sched.Admitted(),
+		Rejects:     s.met.Rejects.Load(),
+		Preemptions: s.met.Preemptions.Load(),
+		BytesIn:     s.met.BytesIn.Load(),
+		BytesOut:    s.met.BytesOut.Load(),
+		Kinds:       s.met.kindSnapshots(),
+		Tenants:     s.sched.SnapshotTenants(),
+		PooledFrame: s.pool.Retained(),
+	}
+}
+
+// handleVarz serves the JSON status document.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.varz())
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WritePrometheus(w, s.sched, s.pool.Retained())
+}
