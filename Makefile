@@ -9,6 +9,9 @@
 #                goroutines)
 #   make fuzz-smoke  a few seconds of each media-layer fuzzer — the CI
 #                    guard that the corpus-reachable code stays panic-free
+#                    (includes the parallel/serial decode-parity fuzzer)
+#   make bench-smoke single-iteration run of the decode/encode/shell
+#                    benchmarks, so CI catches harness breakage cheaply
 #   make bench   paper-experiment benchmarks with allocation stats
 #   make bench-media  media kernel microbenchmarks (bit I/O, VLC, SAD,
 #                     DCT, full encode) with allocation stats
@@ -25,7 +28,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check vet build test race fuzz-smoke bench bench-media perf bench-baseline benchcmp
+.PHONY: check vet build test race fuzz-smoke bench-smoke bench bench-media perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -41,11 +44,20 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
-	$(GO) test -race -run 'Encode|Golden' ./internal/media
+	$(GO) test -race -run 'Encode|Golden|ParallelParity|DecodeOptions|DisplayFramesInto' ./internal/media
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBitReaderRoundTrip -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzHuffDecode -fuzztime=5s ./internal/media
+	$(GO) test -run=NONE -fuzz=FuzzDecodeParallelParity -fuzztime=5s ./internal/media
+
+# bench-smoke compiles and runs every decode/encode/shell benchmark for
+# exactly one iteration — a CI-friendly guard that the benchmark
+# harnesses themselves stay green without paying for real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench='Decode|Fig10' -benchtime=1x ./internal/media .
+	$(GO) test -run=NONE -bench='Encode' -benchtime=1x ./internal/media
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/shell
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

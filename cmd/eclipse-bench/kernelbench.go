@@ -61,6 +61,8 @@ type kernelBenchEntry struct {
 	MediaIDCTBlocksPerS float64 `json:"media_idct_blocks_per_sec,omitempty"`
 	MediaEncodeMBPerS   float64 `json:"media_encode_mb_per_sec,omitempty"`
 	MediaEncodeWorkers  int     `json:"media_encode_workers,omitempty"`
+	MediaDecodeMBPerS   float64 `json:"media_decode_mb_per_sec,omitempty"`
+	MediaDecodeWorkers  int     `json:"media_decode_workers,omitempty"`
 
 	// Serving-path load generation (`eclipse-bench loadgen`): an
 	// in-process eclipse-serve instance driven at a target request rate

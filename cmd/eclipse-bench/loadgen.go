@@ -3,10 +3,12 @@ package main
 // Serving-path load generation: `eclipse-bench loadgen [entry-id [path]]`
 // boots the eclipse-serve subsystem in-process, drives a mixed
 // decode/transcode request stream at a target rate from two tenants of
-// unequal weight, verifies every 200 response bit-identically against
-// the offline codec, and records the serve_* fields of the perf
-// trajectory in BENCH_kernel.json (merge-preserving, like the kernel /
-// shell / media subcommands).
+// unequal weight and unequal decode engines (gold on the
+// pipeline-parallel decoder, bronze on the six-task KPN pipeline),
+// verifies every 200 response bit-identically against the offline
+// codec, and records the serve_* fields of the perf trajectory in
+// BENCH_kernel.json (merge-preserving, like the kernel / shell / media
+// subcommands).
 
 import (
 	"bytes"
@@ -39,9 +41,16 @@ func loadgenBench() {
 	const (
 		workers   = 4
 		baseSlice = 8 * time.Millisecond
-		targetRPS = 25
+		targetRPS = 100
 		duration  = 2 * time.Second
 		xcodeQ    = 9
+		// Decode-engine split: the interactive tenant decodes on the
+		// pipeline-parallel engine (entropy parse overlapped with per-row
+		// reconstruction on 4 workers), the bulk tenant stays on the
+		// six-task KPN pipeline — exercising both engines concurrently
+		// under one scheduler while verifying bit-identical output.
+		goldDecodeWorkers   = 4
+		bronzeDecodeWorkers = 1
 	)
 
 	// Workload and offline ground truth: every server response must be
@@ -64,8 +73,8 @@ func loadgenBench() {
 		Workers:   workers,
 		BaseSlice: baseSlice,
 		Tenants: []serve.TenantConfig{
-			{Name: "gold", Weight: 2, QueueCap: 16},
-			{Name: "bronze", Weight: 1, QueueCap: 8},
+			{Name: "gold", Weight: 2, QueueCap: 16, DecodeWorkers: goldDecodeWorkers},
+			{Name: "bronze", Weight: 1, QueueCap: 8, DecodeWorkers: bronzeDecodeWorkers},
 		},
 	})
 	ts := httptest.NewServer(srv.Handler())
@@ -168,6 +177,8 @@ func loadgenBench() {
 		attempts.Load(), elapsed.Seconds(), float64(targetRPS), e.ServeAchievedRPS)
 	fmt.Printf("  outcome: %d ok, %d rejected (429), %d failed — all 200s bit-identical to the offline codec\n",
 		completed.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("  engines: gold decodes with %d workers (pipeline-parallel), bronze with %d (six-task KPN)\n",
+		goldDecodeWorkers, bronzeDecodeWorkers)
 	fmt.Printf("  decode:  p50 %.2f ms  p99 %.2f ms\n", e.ServeDecodeP50Ms, e.ServeDecodeP99Ms)
 	fmt.Printf("  xcode:   p50 %.2f ms  p99 %.2f ms  (%d preemptions across the run)\n",
 		e.ServeXcodeP50Ms, e.ServeXcodeP99Ms, e.ServePreemptions)

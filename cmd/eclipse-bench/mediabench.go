@@ -16,7 +16,10 @@ package main
 //   - idct:   8x8 inverse-DCT blocks/s on dense random coefficients;
 //   - encode: the full encoder (mode decision, motion search,
 //     transforms, entropy coding) in macroblocks/s at the default
-//     EncodeWorkers, i.e. the parallel analysis pass end to end.
+//     EncodeWorkers, i.e. the parallel analysis pass end to end;
+//   - decode: the full functional decoder in macroblocks/s at the
+//     default DecodeWorkers — the pipeline-parallel path that overlaps
+//     entropy parse with per-row reconstruction when DecodeWorkers > 1.
 
 import (
 	"fmt"
@@ -43,15 +46,19 @@ func mediaBench() {
 	sadPerS := measureMediaSAD()
 	idctPerS := measureMediaIDCT()
 	encPerS, workers := measureMediaEncode()
+	decPerS, decWorkers := measureMediaDecode()
 
 	fmt.Printf("  vld:    %10.0f MB/s  %8.2f MiB/s bitstream  %6.0f allocs/run\n",
 		mbPerS, mibPerS, allocs)
 	fmt.Printf("  sad:    %10.2f Mevals/s (16x16, early-out motion-search mix)\n", sadPerS)
 	fmt.Printf("  idct:   %10.0f blocks/s (8x8, dense coefficients)\n", idctPerS)
 	fmt.Printf("  encode: %10.0f MB/s end-to-end (%d workers)\n", encPerS, workers)
+	fmt.Printf("  decode: %10.0f MB/s end-to-end (%d workers)\n", decPerS, decWorkers)
 
 	doc := loadKernelBench(path)
 	e := benchEntry(&doc, id)
+	// Merge: only the media_* fields belong to this subcommand; the
+	// decode_*/kernel_*/shell_*/serve_* results under the same ID stay.
 	e.MediaVLDMBPerS = mbPerS
 	e.MediaVLDMiBPerS = mibPerS
 	e.MediaVLDAllocs = allocs
@@ -59,6 +66,8 @@ func mediaBench() {
 	e.MediaIDCTBlocksPerS = idctPerS
 	e.MediaEncodeMBPerS = encPerS
 	e.MediaEncodeWorkers = workers
+	e.MediaDecodeMBPerS = decPerS
+	e.MediaDecodeWorkers = decWorkers
 	saveKernelBench(path, &doc)
 	fmt.Printf("  merged media_* fields into entry %q (%d entries total)\n\n", id, len(doc.Entries))
 }
@@ -173,4 +182,26 @@ func measureMediaEncode() (mbPerS float64, workers int) {
 		}
 	}
 	return best, media.EncodeWorkers
+}
+
+// measureMediaDecode times the full functional decoder on the Fig. 10
+// QCIF bitstream at the default DecodeWorkers and reports macroblocks/s.
+// With DecodeWorkers > 1 this exercises the pipeline-parallel decoder
+// (entropy front-end overlapped with per-row reconstruction workers);
+// at 1 it measures the serial reference path.
+func measureMediaDecode() (mbPerS float64, workers int) {
+	const w, h, frames = 176, 144, 12
+	stream := workload(w, h, frames, 6, 1)
+	mbs := (w / media.MBSize) * (h / media.MBSize) * frames
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		if _, err := media.Decode(stream); err != nil {
+			fail(err)
+		}
+		if rate := float64(mbs) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best, media.DecodeWorkers
 }

@@ -37,15 +37,16 @@ import (
 	"eclipse/internal/serve"
 )
 
-// tenantFlags collects repeated -tenant name:weight[:queuecap] flags.
+// tenantFlags collects repeated -tenant
+// name:weight[:queuecap[:decodeworkers]] flags.
 type tenantFlags []serve.TenantConfig
 
 func (t *tenantFlags) String() string { return fmt.Sprintf("%v", []serve.TenantConfig(*t)) }
 
 func (t *tenantFlags) Set(v string) error {
 	parts := strings.Split(v, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return fmt.Errorf("want name:weight[:queuecap], got %q", v)
+	if len(parts) < 2 || len(parts) > 4 {
+		return fmt.Errorf("want name:weight[:queuecap[:decodeworkers]], got %q", v)
 	}
 	tc := serve.TenantConfig{Name: parts[0]}
 	w, err := strconv.Atoi(parts[1])
@@ -53,12 +54,19 @@ func (t *tenantFlags) Set(v string) error {
 		return fmt.Errorf("bad weight in %q", v)
 	}
 	tc.Weight = w
-	if len(parts) == 3 {
+	if len(parts) >= 3 {
 		c, err := strconv.Atoi(parts[2])
 		if err != nil || c < 1 {
 			return fmt.Errorf("bad queue cap in %q", v)
 		}
 		tc.QueueCap = c
+	}
+	if len(parts) == 4 {
+		dw, err := strconv.Atoi(parts[3])
+		if err != nil || dw < 1 {
+			return fmt.Errorf("bad decode workers in %q", v)
+		}
+		tc.DecodeWorkers = dw
 	}
 	*t = append(*t, tc)
 	return nil
@@ -72,19 +80,21 @@ func main() {
 		queueCap = flag.Int("queue-cap", 8, "default per-tenant admission bound")
 		maxBody  = flag.Int64("max-body", 64<<20, "request body cap in bytes")
 		poolCap  = flag.Int("frame-pool", 256, "frames retained by the shared pool")
+		decodeW  = flag.Int("decode-workers", 1, "default per-tenant decode worker count (1 = six-task KPN pipeline, >1 = pipeline-parallel decoder)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		tenants  tenantFlags
 	)
-	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap] (repeatable)")
+	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap[:decodeworkers]] (repeatable)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		BaseSlice:    *slice,
-		QueueCap:     *queueCap,
-		MaxBodyBytes: *maxBody,
-		FramePoolCap: *poolCap,
-		Tenants:      tenants,
+		Workers:       *workers,
+		BaseSlice:     *slice,
+		QueueCap:      *queueCap,
+		MaxBodyBytes:  *maxBody,
+		FramePoolCap:  *poolCap,
+		DecodeWorkers: *decodeW,
+		Tenants:       tenants,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -16,52 +16,60 @@ type DecodeResult struct {
 
 // DisplayFrames returns the decoded frames sorted into display order.
 func (r *DecodeResult) DisplayFrames() []*Frame {
-	out := make([]*Frame, len(r.Coded))
+	return r.DisplayFramesInto(make([]*Frame, 0, len(r.Coded)))
+}
+
+// DisplayFramesInto fills dst with the decoded frames in display order,
+// reusing dst's backing storage when its capacity suffices (the serving
+// path calls this once per response with a recycled slice, so steady
+// state allocates nothing). It returns the filled slice, which aliases
+// dst when no growth was needed.
+func (r *DecodeResult) DisplayFramesInto(dst []*Frame) []*Frame {
+	n := len(r.Coded)
+	if cap(dst) < n {
+		dst = make([]*Frame, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = nil
+		}
+	}
 	for _, df := range r.Coded {
-		if int(df.Hdr.TRef) >= len(out) {
+		if int(df.Hdr.TRef) >= n {
 			continue // malformed tref; keep what fits
 		}
-		out[df.Hdr.TRef] = df.Frame
+		dst[df.Hdr.TRef] = df.Frame
 	}
-	return out
+	return dst
 }
 
-// Decode is the monolithic reference decoder, composed from the same
-// stage kernels (ParseMBSyntax, RLSQDecodeMB, IDCTMB, Predict,
-// Reconstruct) that the Eclipse coprocessor models run, so its output is
-// the ground truth for the pipelined decoders.
+// Decode is the reference decoder, composed from the same stage kernels
+// (ParseMBSyntax, RLSQDecodeMB, IDCTMB, Predict, Reconstruct) that the
+// Eclipse coprocessor models run, so its output is the ground truth for
+// the pipelined decoders. With DecodeWorkers > 1 the entropy parse
+// overlaps per-row reconstruction on a worker pool (see pardecode.go);
+// output and errors are bit-identical for every worker count.
 func Decode(stream []byte) (*DecodeResult, error) {
-	r := NewBitReader(stream)
-	seq, err := ParseSeqHeader(r)
-	if err != nil {
-		return nil, err
-	}
-	res := &DecodeResult{Seq: seq}
-	var refs RefChain
-	for fi := 0; fi < seq.Frames; fi++ {
-		hdr, err := ParseFrameHdr(r)
-		if err != nil {
-			return nil, fmt.Errorf("frame %d: %w", fi, err)
-		}
-		frame, err := decodeFrameBody(r, &seq, hdr, &refs)
-		if err != nil {
-			return nil, fmt.Errorf("frame %d: %w", fi, err)
-		}
-		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: frame})
-		refs.Advance(frame, hdr.Type)
-	}
-	return res, nil
+	return DecodeWithOptions(stream, DecodeOptions{})
 }
 
-// decodeFrameBody decodes the macroblock layer of one frame.
-func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain) (*Frame, error) {
+// decodeFrameBody decodes the macroblock layer of one frame (the serial
+// path). newFrame supplies the reconstruction frame; recycle, when
+// non-nil, reclaims it on the error path.
+func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain, newFrame func(w, h int) *Frame, recycle func(*Frame)) (*Frame, error) {
 	if hdr.Type != FrameI && refs.B == nil {
 		return nil, fmt.Errorf("%w: %v frame before first reference", ErrBitstream, hdr.Type)
 	}
 	if hdr.Type == FrameB && refs.A == nil {
 		return nil, fmt.Errorf("%w: B frame with a single reference", ErrBitstream)
 	}
-	frame := NewFrame(seq.W(), seq.H())
+	frame := newFrame(seq.W(), seq.H())
+	fail := func(err error) (*Frame, error) {
+		if recycle != nil {
+			recycle(frame)
+		}
+		return nil, err
+	}
 	fwdRef, bwdRef := refs.Refs(hdr.Type)
 	var (
 		mvp         MVPredictor
@@ -74,10 +82,10 @@ func decodeFrameBody(r *BitReader, seq *SeqHeader, hdr FrameHdr, refs *RefChain)
 		for mbx := 0; mbx < seq.MBCols; mbx++ {
 			dec, err := ParseMBSyntaxInto(r, hdr.Type, &mvp, &tok)
 			if err != nil {
-				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
+				return fail(fmt.Errorf("mb (%d,%d): %w", mbx, mby, err))
 			}
 			if err := RLSQDecodeMB(&tok, seq.Q, &coef); err != nil {
-				return nil, fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
+				return fail(fmt.Errorf("mb (%d,%d): %w", mbx, mby, err))
 			}
 			IDCTMB(&coef, tok.CBP, &resid)
 			x, y := mbx*MBSize, mby*MBSize

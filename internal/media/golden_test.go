@@ -82,6 +82,18 @@ func TestGoldenFig10Hashes(t *testing.T) {
 	if got := hashFrames(t, res.DisplayFrames()); got != goldenFramesSHA {
 		t.Errorf("decoded frame hash drifted:\n  got  %s\n  want %s", got, goldenFramesSHA)
 	}
+
+	// The pipeline-parallel decoder must reproduce the pinned hash for
+	// every worker count: parallelism is perf-only.
+	for workers := 1; workers <= 8; workers++ {
+		res, err := DecodeWithOptions(stream, DecodeOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("decode workers=%d: %v", workers, err)
+		}
+		if got := hashFrames(t, res.DisplayFrames()); got != goldenFramesSHA {
+			t.Errorf("workers=%d: decoded frame hash drifted:\n  got  %s\n  want %s", workers, got, goldenFramesSHA)
+		}
+	}
 }
 
 func sumSHA(b []byte) []byte {

@@ -1,0 +1,432 @@
+package media
+
+// Pipeline-parallel decoder: a serial entropy front-end overlapped with a
+// pool of reconstruction workers.
+//
+// The bitstream is inherently sequential — every macroblock's syntax
+// position depends on every bit before it — but once a macroblock's
+// tokens and coding decision are recovered, its reconstruction
+// (RLSQ → IDCT → Predict → Reconstruct) depends only on the reference
+// frames, not on its neighbours. The decoder therefore splits along the
+// same line as the PR-3 encoder (parallel analysis + serial entropy),
+// mirrored: the parser runs on the calling goroutine, publishing one
+// bounded-queue batch per macroblock row, and `workers` goroutines
+// reconstruct rows concurrently.
+//
+// Cross-frame pipelining falls out of the same mechanism: the parser
+// moves on to frame N+1's entropy layer while frame N's rows are still
+// being reconstructed. Reference safety is per-row: each batch records
+// how many completed rows of its forward/backward reference its motion
+// vectors can reach (conservatively for half-pel, which needs one extra
+// support row), and workers block on the reference's row-completion
+// prefix before reconstructing. Deadlock-freedom argument: batches are
+// consumed FIFO and every reference row batch is enqueued strictly
+// before any batch that depends on it (a frame is fully parsed before it
+// can become a reference), so the oldest in-flight batch always has its
+// dependencies completed.
+//
+// Error parity with the serial decoder is exact: the parser re-validates
+// each macroblock's run/level expansion inline (the only failure mode of
+// the reconstruction half), so any malformed stream fails on the parser
+// goroutine at the same macroblock, with the same wrapped error chain,
+// as the serial decoder — and workers can never fail.
+//
+// Allocation discipline: the batch set (and the TokenMB arenas inside
+// it) is fixed at decode start and recycled through a free-list channel,
+// so steady-state row reconstruction allocates nothing; frames come from
+// the NewFrame hook (a FramePool in the serving path).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DecodeWorkers is the default number of reconstruction workers used by
+// Decode: GOMAXPROCS-scaled so multi-core machines overlap entropy parse
+// with per-row reconstruction out of the box. At 1 the decoder is the
+// serial reference path (no goroutines, no queues). Output is
+// bit-identical for every worker count.
+var DecodeWorkers = runtime.GOMAXPROCS(0)
+
+// DecodeOptions parameterizes DecodeWithOptions. The zero value decodes
+// with DecodeWorkers workers and plain NewFrame allocation.
+type DecodeOptions struct {
+	// Workers is the reconstruction worker count: 0 means the
+	// DecodeWorkers default; values <= 1 select the serial path.
+	Workers int
+	// NewFrame, when non-nil, supplies reconstruction frames (e.g. from
+	// a FramePool). It must return a zeroed w×h frame.
+	NewFrame func(w, h int) *Frame
+	// Recycle, when non-nil, is called for every frame the decoder
+	// created once it is certain the frame will not be returned (error
+	// and cancellation paths), so pooled frames are not leaked.
+	Recycle func(*Frame)
+	// OnFrame, when non-nil, is called before each coded frame's header
+	// is parsed (in both the serial and parallel paths). Returning a
+	// non-nil error aborts the decode with that error: the serving
+	// layer's preemption/cancellation checkpoint.
+	OnFrame func(coded int) error
+}
+
+// DecodeWithOptions decodes with explicit worker-count, frame-allocation
+// and checkpoint hooks. See Decode for the semantics; output and errors
+// are identical for every option combination.
+func DecodeWithOptions(stream []byte, opts DecodeOptions) (*DecodeResult, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = DecodeWorkers
+	}
+	if workers <= 1 {
+		return decodeSerial(stream, &opts)
+	}
+	return decodeParallel(stream, &opts, workers)
+}
+
+// decMB is one parsed macroblock awaiting reconstruction: the recovered
+// coding decision plus the entropy-decoded tokens (arena-backed; owned
+// by the enclosing batch and recycled with it).
+type decMB struct {
+	dec MBDecision
+	tok TokenMB
+}
+
+// decRowBatch is the unit of work between the entropy front-end and the
+// reconstruction workers: one fully parsed macroblock row.
+type decRowBatch struct {
+	fr       *decFrame // frame under reconstruction
+	fwd, bwd *decFrame // references (nil when the row's frame type has none)
+	needFwd  int       // completed-row prefix of fwd required (0 = none)
+	needBwd  int       // completed-row prefix of bwd required (0 = none)
+	mby      int
+	n        int // macroblocks valid in mbs
+	halfPel  bool
+	q        int
+	mbs      []decMB
+}
+
+// prep readies a recycled batch for a new row. Token arenas inside mbs
+// survive (ParseMBSyntaxInto resets them), so steady-state reuse does
+// not allocate.
+func (b *decRowBatch) prep(fr, fwd, bwd *decFrame, seq *SeqHeader, mby int) {
+	b.fr, b.fwd, b.bwd = fr, fwd, bwd
+	b.needFwd, b.needBwd = 0, 0
+	b.mby = mby
+	b.n = 0
+	b.halfPel = seq.HalfPel
+	b.q = seq.Q
+	if cap(b.mbs) < seq.MBCols {
+		b.mbs = make([]decMB, seq.MBCols)
+	}
+	b.mbs = b.mbs[:seq.MBCols]
+}
+
+// computeNeeds records, per reference, the completed-row prefix the
+// row's motion vectors can touch. Workers gate on these before
+// reconstructing, which is what makes cross-frame pipelining safe.
+func (b *decRowBatch) computeNeeds(seq *SeqHeader) {
+	y := b.mby * MBSize
+	h, rows := seq.H(), seq.MBRows
+	needF, needB := 0, 0
+	for i := 0; i < b.n; i++ {
+		dec := &b.mbs[i].dec
+		switch dec.Mode {
+		case PredIntra:
+			// no reference access
+		case PredSkip:
+			// forward reference at zero motion, always full-pel
+			if p := refRowPrefix(y, 0, false, h, rows); p > needF {
+				needF = p
+			}
+		case PredFwd:
+			if p := refRowPrefix(y, int(dec.FMV.Y), b.halfPel, h, rows); p > needF {
+				needF = p
+			}
+		case PredBwd:
+			if p := refRowPrefix(y, int(dec.BMV.Y), b.halfPel, h, rows); p > needB {
+				needB = p
+			}
+		case PredBi:
+			if p := refRowPrefix(y, int(dec.FMV.Y), b.halfPel, h, rows); p > needF {
+				needF = p
+			}
+			if p := refRowPrefix(y, int(dec.BMV.Y), b.halfPel, h, rows); p > needB {
+				needB = p
+			}
+		}
+	}
+	b.needFwd, b.needBwd = needF, needB
+}
+
+// refRowPrefix returns how many completed macroblock rows of a reference
+// frame are needed to predict a macroblock at pixel row y with vertical
+// motion mvY (in half-pel units when halfPel). Half-pel is conservative:
+// it always charges the extra bilinear support row below the integer
+// position, so a worker never waits on too few rows. Vectors reaching
+// past the bottom edge clamp onto the last pixel row, which requires the
+// whole reference.
+func refRowPrefix(y, mvY int, halfPel bool, h, rows int) int {
+	var last int // bottom-most pixel row the fetch reads, pre-clamping
+	if halfPel {
+		last = ((2*y + mvY) >> 1) + MBSize
+	} else {
+		last = y + mvY + MBSize - 1
+	}
+	if last < 0 {
+		last = 0 // clamped onto the top row
+	}
+	if last >= h {
+		return rows // clamped onto the bottom row: need the full frame
+	}
+	return last/MBSize + 1
+}
+
+// run reconstructs the batch's row. All scratch is caller-owned
+// (per-worker), so the steady state allocates nothing.
+func (b *decRowBatch) run(coef, resid *[BlocksPerMB]Block, pred, out *MBPixels) {
+	if b.fwd != nil && b.needFwd > 0 {
+		b.fwd.waitRows(b.needFwd)
+	}
+	if b.bwd != nil && b.needBwd > 0 {
+		b.bwd.waitRows(b.needBwd)
+	}
+	var fwdF, bwdF *Frame
+	if b.fwd != nil {
+		fwdF = b.fwd.f
+	}
+	if b.bwd != nil {
+		bwdF = b.bwd.f
+	}
+	y := b.mby * MBSize
+	for mbx := 0; mbx < b.n; mbx++ {
+		mb := &b.mbs[mbx]
+		// The parser validated the run/level expansion (the only failure
+		// mode down here), so this cannot fail; the expansion itself is
+		// deterministic, keeping output bit-identical with the serial path.
+		_ = RLSQDecodeMB(&mb.tok, b.q, coef)
+		IDCTMB(coef, mb.tok.CBP, resid)
+		PredictHP(pred, mb.dec.Mode, fwdF, bwdF, mbx*MBSize, y, mb.dec.FMV, mb.dec.BMV, b.halfPel)
+		Reconstruct(out, pred, resid)
+		b.fr.f.SetMB(mbx, b.mby, out)
+	}
+	b.fr.markRow(b.mby)
+}
+
+// decFrame pairs a frame under reconstruction with its row-completion
+// state: rows [0, done) are fully reconstructed. Workers reconstructing
+// dependent frames block in waitRows until the prefix they need exists.
+type decFrame struct {
+	f       *Frame
+	mu      sync.Mutex
+	cond    sync.Cond
+	done    int
+	rowDone []bool
+}
+
+func newDecFrame(f *Frame, rows int) *decFrame {
+	d := &decFrame{f: f, rowDone: make([]bool, rows)}
+	d.cond.L = &d.mu
+	return d
+}
+
+// markRow records row as reconstructed and advances the contiguous
+// completed prefix (rows finish out of order across workers).
+func (d *decFrame) markRow(row int) {
+	d.mu.Lock()
+	d.rowDone[row] = true
+	for d.done < len(d.rowDone) && d.rowDone[d.done] {
+		d.done++
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// waitRows blocks until at least n rows are reconstructed.
+func (d *decFrame) waitRows(n int) {
+	d.mu.Lock()
+	for d.done < n {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// validateMBTokens replays the run/level expansion on the parser
+// goroutine so malformed token streams fail there — at the same
+// macroblock, with the same error chain, as the serial decoder's
+// RLSQDecodeMB — and the reconstruction workers cannot fail. zz is
+// caller-owned scratch; only the expansion verdict matters.
+func validateMBTokens(tok *TokenMB, zz *Block) error {
+	for b := 0; b < BlocksPerMB; b++ {
+		if tok.CBP&(1<<b) == 0 {
+			continue
+		}
+		if !RunLengthExpand(tok.Events[b], zz) {
+			return fmt.Errorf("%w: run/level overflow", ErrBitstream)
+		}
+	}
+	return nil
+}
+
+// decodeParallel is the pipelined decoder: entropy parse on the calling
+// goroutine, per-row reconstruction on `workers` goroutines, bounded by
+// a batch free list (which also bounds the cross-frame lookahead).
+func decodeParallel(stream []byte, opts *DecodeOptions, workers int) (*DecodeResult, error) {
+	r := NewBitReader(stream)
+	seq, err := ParseSeqHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	newFrame := opts.NewFrame
+	if newFrame == nil {
+		newFrame = NewFrame
+	}
+	rows := seq.MBRows
+
+	// Batch budget: enough for every worker to hold one and the parser
+	// to stay a row or two ahead; the free list is the backpressure that
+	// keeps the parser's lookahead (and memory) bounded.
+	nbatch := 2*workers + 2
+	free := make(chan *decRowBatch, nbatch)
+	for i := 0; i < nbatch; i++ {
+		free <- &decRowBatch{mbs: make([]decMB, seq.MBCols)}
+	}
+	work := make(chan *decRowBatch, nbatch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var coef, resid [BlocksPerMB]Block
+			var pred, out MBPixels
+			for b := range work {
+				b.run(&coef, &resid, &pred, &out)
+				free <- b
+			}
+		}()
+	}
+
+	res := &DecodeResult{Seq: seq}
+	var refA, refB *decFrame // RefChain over frames-in-flight: A older, B newer
+	var parseErr error
+	var zz Block // validateMBTokens scratch
+
+parse:
+	for fi := 0; fi < seq.Frames; fi++ {
+		if opts.OnFrame != nil {
+			if err := opts.OnFrame(fi); err != nil {
+				parseErr = err
+				break
+			}
+		}
+		hdr, err := ParseFrameHdr(r)
+		if err != nil {
+			parseErr = fmt.Errorf("frame %d: %w", fi, err)
+			break
+		}
+		if hdr.Type != FrameI && refB == nil {
+			parseErr = fmt.Errorf("frame %d: %w", fi,
+				fmt.Errorf("%w: %v frame before first reference", ErrBitstream, hdr.Type))
+			break
+		}
+		if hdr.Type == FrameB && refA == nil {
+			parseErr = fmt.Errorf("frame %d: %w", fi,
+				fmt.Errorf("%w: B frame with a single reference", ErrBitstream))
+			break
+		}
+		df := newDecFrame(newFrame(seq.W(), seq.H()), rows)
+		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: df.f})
+		var fwd, bwd *decFrame
+		switch hdr.Type {
+		case FrameP:
+			fwd = refB
+		case FrameB:
+			fwd, bwd = refA, refB
+		}
+		var mvp MVPredictor
+		for mby := 0; mby < rows; mby++ {
+			bat := <-free
+			bat.prep(df, fwd, bwd, &seq, mby)
+			mvp.RowStart()
+			var rowErr error
+			for mbx := 0; mbx < seq.MBCols; mbx++ {
+				mb := &bat.mbs[mbx]
+				dec, err := ParseMBSyntaxInto(r, hdr.Type, &mvp, &mb.tok)
+				if err == nil {
+					err = validateMBTokens(&mb.tok, &zz)
+				}
+				if err != nil {
+					rowErr = fmt.Errorf("mb (%d,%d): %w", mbx, mby, err)
+					break
+				}
+				mb.dec = dec
+				bat.n++
+			}
+			if rowErr != nil {
+				free <- bat // partial rows are never reconstructed
+				parseErr = fmt.Errorf("frame %d: %w", fi, rowErr)
+				break parse
+			}
+			bat.computeNeeds(&seq)
+			work <- bat
+		}
+		if hdr.Type != FrameB {
+			refA, refB = refB, df
+		}
+	}
+
+	close(work)
+	wg.Wait() // all enqueued rows reconstructed; no goroutine touches frames past here
+
+	if parseErr != nil {
+		if opts.Recycle != nil {
+			for _, df := range res.Coded {
+				opts.Recycle(df.Frame)
+			}
+		}
+		return nil, parseErr
+	}
+	return res, nil
+}
+
+// decodeSerial is the reference path (workers <= 1): the exact PR-3
+// decoder loop with the frame-allocation and checkpoint hooks threaded
+// through.
+func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
+	r := NewBitReader(stream)
+	seq, err := ParseSeqHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	newFrame := opts.NewFrame
+	if newFrame == nil {
+		newFrame = NewFrame
+	}
+	res := &DecodeResult{Seq: seq}
+	fail := func(err error) (*DecodeResult, error) {
+		if opts.Recycle != nil {
+			for _, df := range res.Coded {
+				opts.Recycle(df.Frame)
+			}
+		}
+		return nil, err
+	}
+	var refs RefChain
+	for fi := 0; fi < seq.Frames; fi++ {
+		if opts.OnFrame != nil {
+			if err := opts.OnFrame(fi); err != nil {
+				return fail(err)
+			}
+		}
+		hdr, err := ParseFrameHdr(r)
+		if err != nil {
+			return fail(fmt.Errorf("frame %d: %w", fi, err))
+		}
+		frame, err := decodeFrameBody(r, &seq, hdr, &refs, newFrame, opts.Recycle)
+		if err != nil {
+			return fail(fmt.Errorf("frame %d: %w", fi, err))
+		}
+		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: frame})
+		refs.Advance(frame, hdr.Type)
+	}
+	return res, nil
+}

@@ -1,0 +1,320 @@
+package media
+
+// Parity, lifecycle, and steady-state allocation guards for the
+// pipeline-parallel decoder. The contract under test: for ANY stream
+// (valid, truncated, corrupted) and ANY worker count, DecodeWithOptions
+// returns byte-identical frames and an identical error chain to the
+// serial reference path, never leaks a pooled frame, and reconstructs
+// rows without allocating.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// parityStreams builds a family of streams covering every prediction
+// mode: IBBP with half-pel motion, IPPP full-pel, a single-MB clip, and
+// the canonical Fig. 10 GOP.
+func parityStreams(t testing.TB) map[string][]byte {
+	t.Helper()
+	build := func(w, h, frames, gopM, q int, halfPel bool) []byte {
+		src := DefaultSource(w, h)
+		clip := NewSource(src).Frames(frames)
+		cfg := DefaultCodec(w, h)
+		cfg.Q = q
+		cfg.GOPM = gopM
+		cfg.HalfPel = halfPel
+		stream, _, _, err := Encode(cfg, clip)
+		if err != nil {
+			t.Fatalf("encode %dx%d: %v", w, h, err)
+		}
+		return stream
+	}
+	return map[string][]byte{
+		"fig10-ibbp":  goldenStream(t),
+		"halfpel":     build(64, 48, 8, 3, 4, true),
+		"ippp":        build(48, 32, 6, 1, 8, false),
+		"single-mb":   build(16, 16, 3, 1, 6, false),
+		"tall-motion": build(32, 96, 7, 3, 3, true),
+	}
+}
+
+// decodeBoth decodes with 1 worker and with `workers`, asserting full
+// parity: identical Seq, frame headers, pixels, and error text.
+func decodeBoth(t *testing.T, stream []byte, workers int) {
+	t.Helper()
+	want, wantErr := DecodeWithOptions(stream, DecodeOptions{Workers: 1})
+	got, gotErr := DecodeWithOptions(stream, DecodeOptions{Workers: workers})
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("workers=%d: error presence diverged: serial %v, parallel %v", workers, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("workers=%d: error text diverged:\n  serial   %q\n  parallel %q", workers, wantErr, gotErr)
+		}
+		if errors.Is(wantErr, ErrBitstream) != errors.Is(gotErr, ErrBitstream) {
+			t.Fatalf("workers=%d: ErrBitstream classification diverged", workers)
+		}
+		if got != nil {
+			t.Fatalf("workers=%d: non-nil result alongside error", workers)
+		}
+		return
+	}
+	if want.Seq != got.Seq {
+		t.Fatalf("workers=%d: sequence header diverged: %+v vs %+v", workers, want.Seq, got.Seq)
+	}
+	if len(want.Coded) != len(got.Coded) {
+		t.Fatalf("workers=%d: %d coded frames, want %d", workers, len(got.Coded), len(want.Coded))
+	}
+	for i := range want.Coded {
+		if want.Coded[i].Hdr != got.Coded[i].Hdr {
+			t.Fatalf("workers=%d: frame %d header diverged", workers, i)
+		}
+		if !want.Coded[i].Frame.Equal(got.Coded[i].Frame) {
+			t.Fatalf("workers=%d: frame %d pixels diverged", workers, i)
+		}
+	}
+}
+
+// TestDecodeParallelParity sweeps worker counts 1..8 over the stream
+// family: the acceptance gate for requirement (a) of the pipeline split.
+func TestDecodeParallelParity(t *testing.T) {
+	for name, stream := range parityStreams(t) {
+		t.Run(name, func(t *testing.T) {
+			for workers := 1; workers <= 8; workers++ {
+				decodeBoth(t, stream, workers)
+			}
+		})
+	}
+}
+
+// TestDecodeParallelParityCorrupt checks error parity on malformed
+// inputs: dense truncation over a small stream, sparse truncation over
+// the Fig. 10 stream, and byte corruption (which trips run/level
+// overflows, bad markers, and reference-order violations mid-stream).
+func TestDecodeParallelParityCorrupt(t *testing.T) {
+	streams := parityStreams(t)
+	small := streams["single-mb"]
+	for cut := 0; cut <= len(small); cut++ {
+		decodeBoth(t, small[:cut], 4)
+	}
+	big := streams["fig10-ibbp"]
+	for cut := 0; cut < len(big); cut += len(big)/61 + 1 {
+		decodeBoth(t, big[:cut], 3)
+	}
+	corrupt := make([]byte, len(small))
+	for i := 0; i < len(small); i++ {
+		copy(corrupt, small)
+		corrupt[i] ^= 0xA5
+		decodeBoth(t, corrupt, 4)
+	}
+}
+
+// TestDecodeOptionsLifecycle pins the frame-ownership contract of the
+// hooks: on success every created frame is returned and none recycled;
+// on parse errors and OnFrame cancellation every created frame is
+// recycled, for both the serial and parallel paths.
+func TestDecodeOptionsLifecycle(t *testing.T) {
+	stream := parityStreams(t)["halfpel"]
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			counted := func() (*DecodeOptions, *int, *int) {
+				created, recycled := new(int), new(int)
+				return &DecodeOptions{
+					Workers:  workers,
+					NewFrame: func(w, h int) *Frame { *created++; return NewFrame(w, h) },
+					Recycle:  func(*Frame) { *recycled++ },
+				}, created, recycled
+			}
+
+			opts, created, recycled := counted()
+			res, err := DecodeWithOptions(stream, *opts)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if *created != len(res.Coded) || *recycled != 0 {
+				t.Fatalf("success path: created %d, recycled %d, returned %d", *created, *recycled, len(res.Coded))
+			}
+
+			opts, created, recycled = counted()
+			if _, err := DecodeWithOptions(stream[:len(stream)*3/4], *opts); err == nil {
+				t.Fatal("truncated stream decoded without error")
+			}
+			if *created == 0 || *created != *recycled {
+				t.Fatalf("error path: created %d but recycled %d", *created, *recycled)
+			}
+
+			opts, created, recycled = counted()
+			cancel := errors.New("preempted")
+			opts.OnFrame = func(coded int) error {
+				if coded == 3 {
+					return cancel
+				}
+				return nil
+			}
+			if _, err := DecodeWithOptions(stream, *opts); !errors.Is(err, cancel) {
+				t.Fatalf("cancellation returned %v, want %v", err, cancel)
+			}
+			if *created != 3 || *recycled != 3 {
+				t.Fatalf("cancel path: created %d, recycled %d, want 3/3", *created, *recycled)
+			}
+		})
+	}
+}
+
+// TestDecodeWorkersDefault checks that Decode honors the DecodeWorkers
+// knob (the serving layer overrides per tenant via DecodeOptions).
+func TestDecodeWorkersDefault(t *testing.T) {
+	stream := parityStreams(t)["ippp"]
+	old := DecodeWorkers
+	defer func() { DecodeWorkers = old }()
+	want, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DecodeWorkers = 5
+	got, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Coded {
+		if !want.Coded[i].Frame.Equal(got.Coded[i].Frame) {
+			t.Fatalf("frame %d diverged under DecodeWorkers=5", i)
+		}
+	}
+}
+
+// TestDisplayFramesInto covers the caller-provided-slice variant: slice
+// reuse without reallocation, clearing of stale entries, growth, and
+// equivalence with DisplayFrames.
+func TestDisplayFramesInto(t *testing.T) {
+	res, err := Decode(parityStreams(t)["ippp"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.DisplayFrames()
+
+	scratch := make([]*Frame, 0, len(want)+4)
+	got := res.DisplayFramesInto(scratch)
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("DisplayFramesInto reallocated despite sufficient capacity")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d differs from DisplayFrames", i)
+		}
+	}
+	// Stale entries beyond this decode's frames must be cleared.
+	stale := NewFrame(MBSize, MBSize)
+	for i := range got {
+		got[i] = stale
+	}
+	got = res.DisplayFramesInto(got)
+	for i := range got {
+		if got[i] == stale {
+			t.Fatalf("entry %d not cleared before reuse", i)
+		}
+	}
+	// Growth path: undersized slice is replaced, not written out of range.
+	tiny := make([]*Frame, 1)
+	grown := res.DisplayFramesInto(tiny)
+	if len(grown) != len(want) {
+		t.Fatalf("grown len %d, want %d", len(grown), len(want))
+	}
+	if n := testing.AllocsPerRun(100, func() { scratch = res.DisplayFramesInto(scratch) }); n != 0 {
+		t.Fatalf("DisplayFramesInto allocates %.1f per call on a warm slice", n)
+	}
+}
+
+// FuzzDecodeParallelParity is the adversarial form of the parity sweep:
+// arbitrary byte streams must decode to byte-identical frames and
+// identical errors at workers=4 vs the serial path.
+func FuzzDecodeParallelParity(f *testing.F) {
+	streams := parityStreams(f)
+	f.Add([]byte{})
+	f.Add(streams["single-mb"])
+	f.Add(streams["ippp"])
+	f.Add(streams["halfpel"][:len(streams["halfpel"])/2])
+	f.Add(streams["fig10-ibbp"][:512])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			return // bound per-input work; coverage lives in the syntax, not the length
+		}
+		decodeBoth(t, data, 4)
+	})
+}
+
+// BenchmarkDecodeReconstructRow measures the steady-state reconstruction
+// worker body (RLSQ + IDCT + Predict + Reconstruct + SetMB for one
+// macroblock row of the Fig. 10 I frame) — the requirement-(b) guard:
+// it must not allocate.
+func BenchmarkDecodeReconstructRow(b *testing.B) {
+	stream := goldenStream(b)
+	r := NewBitReader(stream)
+	seq, err := ParseSeqHeader(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr, err := ParseFrameHdr(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	df := newDecFrame(NewFrame(seq.W(), seq.H()), seq.MBRows)
+	bat := &decRowBatch{mbs: make([]decMB, seq.MBCols)}
+	bat.prep(df, nil, nil, &seq, 0)
+	var mvp MVPredictor
+	mvp.RowStart()
+	for mbx := 0; mbx < seq.MBCols; mbx++ {
+		mb := &bat.mbs[mbx]
+		dec, err := ParseMBSyntaxInto(r, hdr.Type, &mvp, &mb.tok)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mb.dec = dec
+		bat.n++
+	}
+	bat.computeNeeds(&seq)
+	var coef, resid [BlocksPerMB]Block
+	var pred, out MBPixels
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		df.done = 0
+		df.rowDone[0] = false
+		bat.run(&coef, &resid, &pred, &out)
+	}
+	b.ReportMetric(float64(bat.n), "mb/op")
+}
+
+// BenchmarkDecodeGOPWorkers decodes the Fig. 10 stream end to end at
+// several worker counts. On multi-core runners workers>1 overlaps the
+// entropy parse with reconstruction; on a single hardware thread the
+// parallel path's queueing overhead is visible instead (recorded
+// honestly — the default worker count tracks GOMAXPROCS).
+func BenchmarkDecodeGOPWorkers(b *testing.B) {
+	stream := goldenStream(b)
+	seq, err := Decode(stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mbs := seq.Seq.MBCount() * seq.Seq.Frames
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink atomic.Uint32
+			for i := 0; i < b.N; i++ {
+				res, err := DecodeWithOptions(stream, DecodeOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink.Add(uint32(res.Coded[0].Frame.Pix[0]))
+			}
+			b.ReportMetric(float64(mbs), "mb/op")
+		})
+	}
+}

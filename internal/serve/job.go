@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -129,35 +130,115 @@ func serveDecodeBuffers() eclipse.DecodeBuffers {
 // pipeline.
 const rawChunk = 8192
 
-// NewDecodeJob builds a job that decodes an ECL1 bitstream on the
-// six-task KPN decode pipeline (src→vld→rlsq→idct→mc→sink) and returns
-// the display-order frames concatenated as raw 8-bit luma planes.
+// dispPool recycles the display-order scratch slices the response path
+// fills via DecodeResult.DisplayFramesInto, so serializing a response
+// does not allocate a fresh []*Frame per request.
+var dispPool = sync.Pool{New: func() any { return new([]*media.Frame) }}
+
+// runParallelDecode executes the pipeline-parallel decoder as a single
+// Kahn task under the job's gate: the entropy front-end checkpoints at
+// every frame header, so the scheduler can preempt (and cancellation can
+// poison) the whole decode — reconstruction workers and all — at frame
+// boundaries. Frames are drawn from and, on failure, returned to the
+// shared pool.
+func runParallelDecode(ctx context.Context, gate *kpn.Gate, stream []byte, pool *media.SyncFramePool, workers int) (*media.DecodeResult, error) {
+	g := kpn.NewGraph("pardec")
+	g.AddTask("dec", "decode")
+	var res *media.DecodeResult
+	funcs := map[string]kpn.TaskFunc{
+		"decode": func(c *kpn.TaskCtx) error {
+			var err error
+			res, err = media.DecodeWithOptions(stream, media.DecodeOptions{
+				Workers:  workers,
+				NewFrame: pool.Get,
+				Recycle:  pool.Put,
+				OnFrame:  func(int) error { return c.Checkpoint() },
+			})
+			return err
+		},
+	}
+	if err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// decodeFrames runs the decode phase shared by decode and transcode
+// jobs and returns the display-order frames, every entry non-nil and
+// drawn from pool (the caller takes ownership). workers selects the
+// engine: the six-task KPN pipeline at <= 1 (bulk tenants keep the
+// fine-grained coprocessor-shaped network), the pipeline-parallel
+// decoder above that (interactive tenants overlap entropy parse with
+// per-row reconstruction). putSlice returns the slice's backing storage
+// to a shared pool; call it once the frames have been consumed.
+func decodeFrames(ctx context.Context, gate *kpn.Gate, stream []byte, seq media.SeqHeader, pool *media.SyncFramePool, workers int) (frames []*media.Frame, putSlice func(), err error) {
+	if workers > 1 {
+		res, err := runParallelDecode(ctx, gate, stream, pool, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := dispPool.Get().(*[]*media.Frame)
+		disp := res.DisplayFramesInto(*sp)
+		release := func() {
+			for i := range disp {
+				disp[i] = nil // don't retain frames through the slice pool
+			}
+			*sp = disp[:0]
+			dispPool.Put(sp)
+		}
+		for i, f := range disp {
+			if f == nil { // malformed tref (out of range or duplicate)
+				for _, df := range res.Coded {
+					pool.Put(df.Frame)
+				}
+				release()
+				return nil, nil, fmt.Errorf("serve: decoded stream missing frame %d", i)
+			}
+		}
+		return disp, release, nil
+	}
+	var sink copro.FunctionalSink
+	g := eclipse.DecodeGraph("job", serveDecodeBuffers())
+	funcs := copro.FunctionalDecodeFuncsPooled(stream, seq, &sink, pool)
+	if err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate)); err != nil {
+		pool.PutAll(sink.Frames)
+		return nil, nil, err
+	}
+	for i, f := range sink.Frames {
+		if f == nil {
+			pool.PutAll(sink.Frames)
+			return nil, nil, fmt.Errorf("serve: decoded stream missing frame %d", i)
+		}
+	}
+	return sink.Frames, func() {}, nil
+}
+
+// NewDecodeJob builds a job that decodes an ECL1 bitstream and returns
+// the display-order frames concatenated as raw 8-bit luma planes. With
+// workers <= 1 the decode runs on the six-task KPN pipeline
+// (src→vld→rlsq→idct→mc→sink); above that it runs the pipeline-parallel
+// decoder with `workers` reconstruction workers (see decodeFrames).
 // The sequence header is validated synchronously so malformed requests
 // fail before admission.
-func NewDecodeJob(ctx context.Context, tenant string, stream []byte, pool *media.SyncFramePool) (*Job, error) {
+func NewDecodeJob(ctx context.Context, tenant string, stream []byte, pool *media.SyncFramePool, workers int) (*Job, error) {
 	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
 	if err != nil {
 		return nil, err
 	}
 	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
-		var sink copro.FunctionalSink
-		g := eclipse.DecodeGraph("job", serveDecodeBuffers())
-		funcs := copro.FunctionalDecodeFuncsPooled(stream, seq, &sink, pool)
-		if err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate)); err != nil {
-			pool.PutAll(sink.Frames)
+		frames, putSlice, err := decodeFrames(ctx, gate, stream, seq, pool, workers)
+		if err != nil {
 			return Result{}, err
 		}
 		plane := seq.W() * seq.H()
-		out := make([]byte, 0, len(sink.Frames)*plane)
-		for i, f := range sink.Frames {
-			if f == nil {
-				pool.PutAll(sink.Frames)
-				return Result{}, fmt.Errorf("serve: decoded stream missing frame %d", i)
-			}
+		out := make([]byte, 0, len(frames)*plane)
+		for _, f := range frames {
 			out = append(out, f.Pix...)
 		}
-		pool.PutAll(sink.Frames)
-		return Result{Body: out, Meta: seqMeta(seq, len(sink.Frames))}, nil
+		n := len(frames)
+		pool.PutAll(frames)
+		putSlice()
+		return Result{Body: out, Meta: seqMeta(seq, n)}, nil
 	}
 	return NewJob(tenant, KindDecode, ctx, body), nil
 }
@@ -233,12 +314,13 @@ func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw
 	return NewJob(tenant, KindEncode, ctx, body), nil
 }
 
-// NewTranscodeJob builds a job that decodes a bitstream on the KPN
-// pipeline and re-encodes it at quantizer q (GOP structure, dimensions,
-// and half-pel mode inherited from the source sequence header). The
-// encode phase runs as a single Kahn task checkpointing once per frame,
-// so both phases are preemptible and share the job's gate and deadline.
-func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool) (*Job, error) {
+// NewTranscodeJob builds a job that decodes a bitstream (see
+// decodeFrames for the workers-selected engine) and re-encodes it at
+// quantizer q (GOP structure, dimensions, and half-pel mode inherited
+// from the source sequence header). The encode phase runs as a single
+// Kahn task checkpointing once per frame, so both phases are
+// preemptible and share the job's gate and deadline.
+func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool, workers int) (*Job, error) {
 	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
 	if err != nil {
 		return nil, err
@@ -248,14 +330,12 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 		return nil, err
 	}
 	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
-		// Phase 1: KPN decode into pooled frames.
-		var sink copro.FunctionalSink
-		dg := eclipse.DecodeGraph("job", serveDecodeBuffers())
-		funcs := copro.FunctionalDecodeFuncsPooled(stream, seq, &sink, pool)
-		if err := kpn.RunContext(ctx, dg, funcs, kpn.WithGate(gate)); err != nil {
-			pool.PutAll(sink.Frames)
+		// Phase 1: decode into pooled display-order frames.
+		frames, putSlice, err := decodeFrames(ctx, gate, stream, seq, pool, workers)
+		if err != nil {
 			return Result{}, err
 		}
+		defer putSlice()
 		// Phase 2: re-encode as a single checkpointed Kahn task under the
 		// same gate, recycling each source frame once coded.
 		eg := kpn.NewGraph("xcode")
@@ -264,19 +344,16 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 		var stats *media.EncodeStats
 		efuncs := map[string]kpn.TaskFunc{
 			"encode": func(c *kpn.TaskCtx) error {
-				se, err := media.NewStreamEncoder(cfg, len(sink.Frames))
+				se, err := media.NewStreamEncoder(cfg, len(frames))
 				if err != nil {
 					return err
 				}
 				se.Recycle = pool.Put
-				for i, f := range sink.Frames {
+				for i, f := range frames {
 					if err := c.Checkpoint(); err != nil {
 						return err
 					}
-					if f == nil {
-						return fmt.Errorf("serve: decoded stream missing frame %d", i)
-					}
-					sink.Frames[i] = nil // ownership moves to the encoder
+					frames[i] = nil // ownership moves to the encoder
 					if err := se.Push(f); err != nil {
 						pool.Put(f)
 						return err
@@ -287,7 +364,7 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 			},
 		}
 		if err := kpn.RunContext(ctx, eg, efuncs, kpn.WithGate(gate)); err != nil {
-			pool.PutAll(sink.Frames) // frames not yet handed to the encoder
+			pool.PutAll(frames) // frames not yet handed to the encoder
 			return Result{}, err
 		}
 		meta := seqMeta(seq, seq.Frames)

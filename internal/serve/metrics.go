@@ -28,17 +28,18 @@ func NewMetrics() *Metrics { return &Metrics{Start: time.Now()} }
 
 // TenantSnapshot is one tenant's row in /varz and /metrics.
 type TenantSnapshot struct {
-	Name       string  `json:"name"`
-	Weight     int     `json:"weight"`
-	QueueCap   int     `json:"queue_cap"`
-	QueueDepth int     `json:"queue_depth"`
-	Admitted   int     `json:"admitted"`
-	Completed  uint64  `json:"completed"`
-	Errors     uint64  `json:"errors"`
-	Rejects    uint64  `json:"rejects"`
-	Preempts   uint64  `json:"preempts"`
-	ServiceSec float64 `json:"service_sec"`
-	EwmaJobMs  float64 `json:"ewma_job_ms"`
+	Name          string  `json:"name"`
+	Weight        int     `json:"weight"`
+	QueueCap      int     `json:"queue_cap"`
+	DecodeWorkers int     `json:"decode_workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Admitted      int     `json:"admitted"`
+	Completed     uint64  `json:"completed"`
+	Errors        uint64  `json:"errors"`
+	Rejects       uint64  `json:"rejects"`
+	Preempts      uint64  `json:"preempts"`
+	ServiceSec    float64 `json:"service_sec"`
+	EwmaJobMs     float64 `json:"ewma_job_ms"`
 }
 
 // KindSnapshot is one job kind's latency/traffic row.

@@ -29,15 +29,21 @@ type Config struct {
 	// FramePoolCap bounds the shared frame pool (frames retained across
 	// requests). Default 256.
 	FramePoolCap int
+	// DecodeWorkers is the default decode worker count for tenants that
+	// do not declare one. 1 selects the six-task KPN pipeline; above 1
+	// the pipeline-parallel decoder overlaps entropy parse with per-row
+	// reconstruction on that many workers. Default 1.
+	DecodeWorkers int
 	// Tenants pre-declares tenants with non-default weight or capacity.
 	Tenants []TenantConfig
 }
 
 // TenantConfig declares one tenant's scheduling parameters.
 type TenantConfig struct {
-	Name     string
-	Weight   int // scheduling-slice multiplier; ≥1
-	QueueCap int // admission bound; ≥1
+	Name          string
+	Weight        int // scheduling-slice multiplier; ≥1
+	QueueCap      int // admission bound; ≥1
+	DecodeWorkers int // decode engine width; 0 → Config.DecodeWorkers
 }
 
 // withDefaults fills zero fields.
@@ -59,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FramePoolCap <= 0 {
 		c.FramePoolCap = 256
+	}
+	if c.DecodeWorkers <= 0 {
+		c.DecodeWorkers = 1
 	}
 	return c
 }
@@ -89,9 +98,10 @@ const (
 
 // tenant is one row of the scheduler's task table.
 type tenant struct {
-	name   string
-	weight int
-	cap    int
+	name          string
+	weight        int
+	cap           int
+	decodeWorkers int
 
 	q        []*Job // admitted, waiting (including preempted jobs)
 	admitted int    // waiting + running, not yet finished
@@ -131,7 +141,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 	s := &Scheduler{cfg: cfg, met: met, byName: map[string]*tenant{}}
 	s.cond = sync.NewCond(&s.mu)
 	for _, tc := range cfg.Tenants {
-		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap)
+		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap, tc.DecodeWorkers)
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -142,7 +152,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 
 // tenantLocked returns the named tenant, creating it with the given (or
 // default) parameters. Caller holds s.mu or is the constructor.
-func (s *Scheduler) tenantLocked(name string, weight, qcap int) *tenant {
+func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int) *tenant {
 	if t, ok := s.byName[name]; ok {
 		return t
 	}
@@ -152,10 +162,26 @@ func (s *Scheduler) tenantLocked(name string, weight, qcap int) *tenant {
 	if qcap <= 0 {
 		qcap = s.cfg.QueueCap
 	}
-	t := &tenant{name: name, weight: weight, cap: qcap}
+	if dworkers <= 0 {
+		dworkers = s.cfg.DecodeWorkers
+	}
+	t := &tenant{name: name, weight: weight, cap: qcap, decodeWorkers: dworkers}
 	s.tenants = append(s.tenants, t)
 	s.byName[name] = t
 	return t
+}
+
+// DecodeWorkersFor reports the decode worker count for a tenant: its
+// declared value if pre-registered, else the config default. Handlers
+// call this before building decode/transcode jobs so each tenant's
+// requests run on its configured engine.
+func (s *Scheduler) DecodeWorkersFor(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.byName[name]; ok {
+		return t.decodeWorkers
+	}
+	return s.cfg.DecodeWorkers
 }
 
 // Submit admits a job or rejects it: ErrDraining during shutdown, or a
@@ -166,7 +192,7 @@ func (s *Scheduler) Submit(j *Job) error {
 		s.mu.Unlock()
 		return ErrDraining
 	}
-	t := s.tenantLocked(j.Tenant, 0, 0)
+	t := s.tenantLocked(j.Tenant, 0, 0, 0)
 	if t.admitted >= t.cap {
 		t.rejects++
 		ra := s.retryAfterLocked(t)
@@ -382,17 +408,18 @@ func (s *Scheduler) SnapshotTenants() []TenantSnapshot {
 	out := make([]TenantSnapshot, 0, len(s.tenants))
 	for _, t := range s.tenants {
 		out = append(out, TenantSnapshot{
-			Name:       t.name,
-			Weight:     t.weight,
-			QueueCap:   t.cap,
-			QueueDepth: len(t.q),
-			Admitted:   t.admitted,
-			Completed:  t.completed,
-			Errors:     t.errored,
-			Rejects:    t.rejects,
-			Preempts:   t.preempts,
-			ServiceSec: float64(t.serviceNs) / 1e9,
-			EwmaJobMs:  t.ewmaJobNs / 1e6,
+			Name:          t.name,
+			Weight:        t.weight,
+			QueueCap:      t.cap,
+			DecodeWorkers: t.decodeWorkers,
+			QueueDepth:    len(t.q),
+			Admitted:      t.admitted,
+			Completed:     t.completed,
+			Errors:        t.errored,
+			Rejects:       t.rejects,
+			Preempts:      t.preempts,
+			ServiceSec:    float64(t.serviceNs) / 1e9,
+			EwmaJobMs:     t.ewmaJobNs / 1e6,
 		})
 	}
 	return out

@@ -164,7 +164,8 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := NewDecodeJob(ctx, tenantOf(r), body, s.pool)
+	tenant := tenantOf(r)
+	j, err := NewDecodeJob(ctx, tenant, body, s.pool, s.sched.DecodeWorkersFor(tenant))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -272,7 +273,8 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := NewTranscodeJob(ctx, tenantOf(r), body, q, s.pool)
+	tenant := tenantOf(r)
+	j, err := NewTranscodeJob(ctx, tenant, body, q, s.pool, s.sched.DecodeWorkersFor(tenant))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

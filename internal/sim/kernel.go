@@ -369,12 +369,12 @@ func (k *Kernel) advance(self *Proc) int {
 				return advSelf
 			}
 			k.running = e.p
-			e.p.resume <- struct{}{}
+			e.p.ch <- struct{}{}
 			return advTransferred
 		case evLaunch:
 			e.p.start()
 			k.running = e.p
-			e.p.resume <- struct{}{}
+			e.p.ch <- struct{}{}
 			return advTransferred
 		default:
 			k.running = nil
@@ -462,8 +462,8 @@ func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
 		if !p.done && p.started {
 			p.kill = true
-			p.resume <- struct{}{}
-			<-p.yield
+			p.ch <- struct{}{}
+			<-p.ch
 		}
 	}
 }

@@ -13,10 +13,16 @@ import (
 // freely touch shared model state without locking. Time only advances when
 // the body calls Delay or Wait.
 type Proc struct {
-	name    string
-	k       *Kernel
-	resume  chan struct{}
-	yield   chan struct{}
+	name string
+	k    *Kernel
+	// ch is the process's single rendezvous channel. In normal operation
+	// the kernel sends on it to hand the baton to the process (resume). In
+	// the Shutdown handshake the roles flip once: the killer sends the kill
+	// resume, and the dying goroutine sends back on the same channel to
+	// acknowledge unwinding. One channel instead of a resume/yield pair
+	// keeps NewProc at two allocations (Proc + channel), which the
+	// kernel-stress allocation guard pins.
+	ch      chan struct{}
 	body    func(*Proc)
 	started bool
 	done    bool
@@ -60,11 +66,10 @@ type killProc struct{}
 // cycle `start`. The name is used in deadlock reports and traces.
 func (k *Kernel) NewProc(name string, start uint64, body func(*Proc)) *Proc {
 	p := &Proc{
-		name:   name,
-		k:      k,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		body:   body,
+		name: name,
+		k:    k,
+		ch:   make(chan struct{}),
+		body: body,
 	}
 	k.procs = append(k.procs, p)
 	k.push(start, evLaunch, p, nil)
@@ -79,9 +84,10 @@ func (p *Proc) start() {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killProc); ok {
-					// Shutdown handshake: the killer waits on yield.
+					// Shutdown handshake: the killer waits for this ack on the
+					// same channel it sent the kill resume on.
 					p.done = true
-					p.yield <- struct{}{}
+					p.ch <- struct{}{}
 					return
 				}
 				p.done = true
@@ -95,7 +101,7 @@ func (p *Proc) start() {
 			p.done = true
 			p.k.release()
 		}()
-		<-p.resume
+		<-p.ch
 		if p.kill {
 			panic(killProc{})
 		}
@@ -117,9 +123,9 @@ func (p *Proc) park() {
 		// driver, then wait like any parked process (the next Run — or
 		// Shutdown — will resume or kill us).
 		p.k.driver <- struct{}{}
-		<-p.resume
+		<-p.ch
 	default: // advTransferred
-		<-p.resume
+		<-p.ch
 	}
 	if p.kill {
 		panic(killProc{})
