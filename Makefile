@@ -1,6 +1,7 @@
 # Eclipse reproduction — build / verify / bench entry points.
 #
 #   make check   vet + build + full test suite + race-detector pass
+#   make lint    vet + gofmt formatting check (no test run)
 #   make test    full test suite only
 #   make race    race pass on the concurrency-sensitive packages: the
 #                sim kernel, the KPN engine, the serving subsystem, the
@@ -28,9 +29,15 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check vet build test race fuzz-smoke bench-smoke bench bench-media perf bench-baseline benchcmp
+.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media perf bench-baseline benchcmp
 
 check: vet build test race
+
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +57,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBitReaderRoundTrip -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzHuffDecode -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzDecodeParallelParity -fuzztime=5s ./internal/media
+	$(GO) test -run=NONE -fuzz=FuzzCacheKeyCanonical -fuzztime=5s ./internal/serve
 
 # bench-smoke compiles and runs every decode/encode/shell benchmark for
 # exactly one iteration — a CI-friendly guard that the benchmark

@@ -79,6 +79,16 @@ type kernelBenchEntry struct {
 	ServeDecodeP99Ms float64 `json:"serve_decode_p99_ms,omitempty"`
 	ServeXcodeP50Ms  float64 `json:"serve_transcode_p50_ms,omitempty"`
 	ServeXcodeP99Ms  float64 `json:"serve_transcode_p99_ms,omitempty"`
+
+	// Result-cache view of the zipfian loadgen run: hit rate over the
+	// whole mix, singleflight collapses, and the latency split between
+	// the resident-hit path and the cold-miss path.
+	ServeCacheHitRate   float64 `json:"serve_cache_hit_rate,omitempty"`
+	ServeCacheCollapsed uint64  `json:"serve_cache_collapsed,omitempty"`
+	ServeCacheHitP50Ms  float64 `json:"serve_cache_hit_p50_ms,omitempty"`
+	ServeCacheHitP99Ms  float64 `json:"serve_cache_hit_p99_ms,omitempty"`
+	ServeCacheMissP50Ms float64 `json:"serve_cache_miss_p50_ms,omitempty"`
+	ServeCacheMissP99Ms float64 `json:"serve_cache_miss_p99_ms,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.

@@ -1,20 +1,28 @@
 package main
 
 // Serving-path load generation: `eclipse-bench loadgen [entry-id [path]]`
-// boots the eclipse-serve subsystem in-process, drives a mixed
-// decode/transcode request stream at a target rate from two tenants of
-// unequal weight and unequal decode engines (gold on the
-// pipeline-parallel decoder, bronze on the six-task KPN pipeline),
-// verifies every 200 response bit-identically against the offline
-// codec, and records the serve_* fields of the perf trajectory in
-// BENCH_kernel.json (merge-preserving, like the kernel / shell / media
-// subcommands).
+// boots the eclipse-serve subsystem in-process and drives it through
+// three phases:
+//
+//  1. a zipfian content mix (a few hot streams plus a long tail, the
+//     popular-content shape the result cache exists for) from two
+//     tenants of unequal weight and unequal decode engines, every 200
+//     response verified bit-identically against the offline codec;
+//  2. an identical-request storm on a cold key, asserting the
+//     singleflight table collapses it to exactly one admitted decode;
+//  3. a cache-disabled replay of the catalog, asserting byte-identical
+//     responses with the cache on and off.
+//
+// The serve_* fields of the perf trajectory (including the cache
+// hit/miss latency split) are recorded in BENCH_kernel.json,
+// merge-preserving other subsystems' fields.
 
 import (
 	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -25,6 +33,37 @@ import (
 	"eclipse/internal/media"
 	"eclipse/internal/serve"
 )
+
+// loadgenStream is one catalog entry: a bitstream plus its offline
+// ground truth for both request kinds.
+type loadgenStream struct {
+	stream    []byte
+	wantRaw   []byte
+	wantXcode []byte
+}
+
+// buildCatalog encodes nStreams distinct sequences and their reference
+// outputs. Index 0 is the zipf head (hottest).
+func buildCatalog(nStreams, w, h, frames, q, xcodeQ int) []loadgenStream {
+	cat := make([]loadgenStream, nStreams)
+	for i := range cat {
+		stream := workload(w, h, frames, q, int64(i+1))
+		ref, err := media.Decode(stream)
+		if err != nil {
+			fail(err)
+		}
+		var raw []byte
+		for _, f := range ref.DisplayFrames() {
+			raw = append(raw, f.Pix...)
+		}
+		xcode, _, _, err := media.Encode(serve.TranscodeConfig(ref.Seq, xcodeQ), ref.DisplayFrames())
+		if err != nil {
+			fail(err)
+		}
+		cat[i] = loadgenStream{stream: stream, wantRaw: raw, wantXcode: xcode}
+	}
+	return cat
+}
 
 // loadgenBench runs the load generator and updates the trajectory file.
 func loadgenBench() {
@@ -41,80 +80,88 @@ func loadgenBench() {
 	const (
 		workers   = 4
 		baseSlice = 8 * time.Millisecond
-		targetRPS = 100
+		targetRPS = 150
 		duration  = 2 * time.Second
 		xcodeQ    = 9
+		nStreams  = 8 // zipf catalog: a hot head and a long tail
+		zipfS     = 1.3
+		stormN    = 32
 		// Decode-engine split: the interactive tenant decodes on the
-		// pipeline-parallel engine (entropy parse overlapped with per-row
-		// reconstruction on 4 workers), the bulk tenant stays on the
-		// six-task KPN pipeline — exercising both engines concurrently
-		// under one scheduler while verifying bit-identical output.
+		// pipeline-parallel engine, the bulk tenant on the six-task KPN
+		// pipeline — both engines fill and read the same shared cache,
+		// which is sound because output is bit-identical across engines.
 		goldDecodeWorkers   = 4
 		bronzeDecodeWorkers = 1
 	)
 
-	// Workload and offline ground truth: every server response must be
-	// bit-identical to what the batch codec produces for the same input.
-	stream := workload(176, 144, 12, 6, 1)
-	ref, err := media.Decode(stream)
-	if err != nil {
-		fail(err)
+	cat := buildCatalog(nStreams, 96, 80, 8, 6, xcodeQ)
+
+	newServer := func(cacheBytes int64) (*serve.Server, *httptest.Server) {
+		srv := serve.New(serve.Config{
+			Workers:    workers,
+			BaseSlice:  baseSlice,
+			CacheBytes: cacheBytes,
+			Tenants: []serve.TenantConfig{
+				{Name: "gold", Weight: 2, QueueCap: 16, DecodeWorkers: goldDecodeWorkers},
+				{Name: "bronze", Weight: 1, QueueCap: 8, DecodeWorkers: bronzeDecodeWorkers},
+			},
+		})
+		return srv, httptest.NewServer(srv.Handler())
 	}
-	var wantRaw []byte
-	for _, f := range ref.DisplayFrames() {
-		wantRaw = append(wantRaw, f.Pix...)
-	}
-	wantXcode, _, _, err := media.Encode(serve.TranscodeConfig(ref.Seq, xcodeQ), ref.DisplayFrames())
-	if err != nil {
-		fail(err)
+	drain := func(srv *serve.Server, ts *httptest.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+		ts.Close()
 	}
 
-	srv := serve.New(serve.Config{
-		Workers:   workers,
-		BaseSlice: baseSlice,
-		Tenants: []serve.TenantConfig{
-			{Name: "gold", Weight: 2, QueueCap: 16, DecodeWorkers: goldDecodeWorkers},
-			{Name: "bronze", Weight: 1, QueueCap: 8, DecodeWorkers: bronzeDecodeWorkers},
-		},
-	})
-	ts := httptest.NewServer(srv.Handler())
-
-	var (
-		attempts, completed, rejected, failed, mismatched atomic.Uint64
-		wg                                                sync.WaitGroup
-	)
 	client := &http.Client{Timeout: 30 * time.Second}
-	shoot := func(n int) {
-		defer wg.Done()
-		url := ts.URL + "/v1/decode"
-		want := wantRaw
-		if n%3 == 2 { // every third request transcodes
-			url = fmt.Sprintf("%s/v1/transcode?q=%d", ts.URL, xcodeQ)
-			want = wantXcode
-		}
-		tenant := "gold"
-		if n%2 == 1 {
-			tenant = "bronze"
-		}
-		req, err := http.NewRequest("POST", url, bytes.NewReader(stream))
+	do := func(url, tenant string, body []byte) (int, []byte) {
+		req, err := http.NewRequest("POST", url, bytes.NewReader(body))
 		if err != nil {
 			fail(err)
 		}
 		req.Header.Set("X-Tenant", tenant)
-		attempts.Add(1)
 		resp, err := client.Do(req)
 		if err != nil {
-			failed.Add(1)
-			return
+			return 0, nil
 		}
-		body, err := io.ReadAll(resp.Body)
+		out, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if err != nil {
+			return 0, nil
+		}
+		return resp.StatusCode, out
+	}
+
+	// ---- Phase 1: zipfian mix against the cache-enabled server ----
+	srv, ts := newServer(0) // 0 = default cache budget
+	var (
+		attempts, completed, rejected, failed, mismatched atomic.Uint64
+		wg                                                sync.WaitGroup
+	)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, zipfS, 1, nStreams-1)
+	type shot struct {
+		idx    int
+		xcode  bool
+		tenant string
+	}
+	shoot := func(sh shot) {
+		defer wg.Done()
+		s := cat[sh.idx]
+		url, want := ts.URL+"/v1/decode", s.wantRaw
+		if sh.xcode {
+			url, want = fmt.Sprintf("%s/v1/transcode?q=%d", ts.URL, xcodeQ), s.wantXcode
+		}
+		attempts.Add(1)
+		code, body := do(url, sh.tenant, s.stream)
 		switch {
-		case err != nil || resp.StatusCode >= 500:
-			failed.Add(1)
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case code == http.StatusTooManyRequests:
 			rejected.Add(1)
-		case resp.StatusCode != http.StatusOK:
+		case code != http.StatusOK:
 			failed.Add(1)
 		case !bytes.Equal(body, want):
 			mismatched.Add(1)
@@ -122,23 +169,31 @@ func loadgenBench() {
 			completed.Add(1)
 		}
 	}
-
 	tick := time.NewTicker(time.Second / targetRPS)
 	start := time.Now()
 	for n := 0; time.Since(start) < duration; n++ {
 		<-tick.C
+		sh := shot{idx: int(zipf.Uint64()), xcode: n%3 == 2, tenant: "gold"}
+		if n%2 == 1 {
+			sh.tenant = "bronze"
+		}
 		wg.Add(1)
-		go shoot(n)
+		go shoot(sh)
 	}
 	tick.Stop()
 	wg.Wait()
 	elapsed := time.Since(start)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fail(err)
+	met := srv.Metrics()
+	cacheSnap := srv.Cache().Snapshot()
+	preempts := met.Preemptions.Load()
+	msq := func(k serve.Kind, q float64) float64 {
+		return float64(met.Latency[k].Quantile(q)) / 1e6
 	}
-	ts.Close()
+	decodeP50, decodeP99 := msq(serve.KindDecode, 0.50), msq(serve.KindDecode, 0.99)
+	xcodeP50, xcodeP99 := msq(serve.KindTranscode, 0.50), msq(serve.KindTranscode, 0.99)
+	fmt.Printf("  -- drain report --\n")
+	drain(srv, ts)
+	srv.WriteReport(os.Stdout)
 
 	if m := mismatched.Load(); m > 0 {
 		fail(fmt.Errorf("loadgen: %d responses differ from the offline codec", m))
@@ -149,11 +204,54 @@ func loadgenBench() {
 	if completed.Load() == 0 {
 		fail(fmt.Errorf("loadgen: no requests completed"))
 	}
-
-	met := srv.Metrics()
-	msq := func(k serve.Kind, q float64) float64 {
-		return float64(met.Latency[k].Quantile(q)) / 1e6
+	hitTotal := cacheSnap.Hits + cacheSnap.Misses
+	hitRate := float64(cacheSnap.Hits) / float64(hitTotal)
+	if cacheSnap.Hits == 0 {
+		fail(fmt.Errorf("loadgen: zipfian mix produced no cache hits"))
 	}
+	if cacheSnap.HitP50Ms*10 > cacheSnap.MissP50Ms {
+		fail(fmt.Errorf("loadgen: cache hit p50 %.3fms not ≥10x faster than miss p50 %.3fms",
+			cacheSnap.HitP50Ms, cacheSnap.MissP50Ms))
+	}
+
+	// ---- Phase 2: identical-request storm on a cold key ----
+	storm := workload(96, 80, 8, 6, 99)
+	stormSrv, stormTS := newServer(0)
+	var stormWG sync.WaitGroup
+	var stormFail atomic.Uint64
+	for i := 0; i < stormN; i++ {
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			code, _ := do(stormTS.URL+"/v1/decode", "gold", storm)
+			if code != http.StatusOK {
+				stormFail.Add(1)
+			}
+		}()
+	}
+	stormWG.Wait()
+	stormDecodes := stormSrv.Metrics().Requests[serve.KindDecode].Load()
+	stormSnap := stormSrv.Cache().Snapshot()
+	drain(stormSrv, stormTS)
+	if stormFail.Load() > 0 {
+		fail(fmt.Errorf("loadgen: %d storm requests failed", stormFail.Load()))
+	}
+	if stormDecodes != 1 {
+		fail(fmt.Errorf("loadgen: %d-request storm admitted %d decodes, want exactly 1", stormN, stormDecodes))
+	}
+
+	// ---- Phase 3: cache-off replay, byte-identity across the switch ----
+	offSrv, offTS := newServer(-1)
+	for i, s := range cat {
+		if code, body := do(offTS.URL+"/v1/decode", "gold", s.stream); code != http.StatusOK || !bytes.Equal(body, s.wantRaw) {
+			fail(fmt.Errorf("loadgen: cache-off decode of stream %d diverged (status %d)", i, code))
+		}
+		if code, body := do(fmt.Sprintf("%s/v1/transcode?q=%d", offTS.URL, xcodeQ), "bronze", s.stream); code != http.StatusOK || !bytes.Equal(body, s.wantXcode) {
+			fail(fmt.Errorf("loadgen: cache-off transcode of stream %d diverged (status %d)", i, code))
+		}
+	}
+	drain(offSrv, offTS)
+
 	entryDate := time.Now().Format("2006-01-02")
 	doc := loadKernelBench(path)
 	e := benchEntry(&doc, id)
@@ -166,21 +264,31 @@ func loadgenBench() {
 	e.ServeBaseSliceMs = float64(baseSlice) / 1e6
 	e.ServeRequests = attempts.Load()
 	e.ServeRejectRate = float64(rejected.Load()) / float64(attempts.Load())
-	e.ServePreemptions = met.Preemptions.Load()
-	e.ServeDecodeP50Ms = msq(serve.KindDecode, 0.50)
-	e.ServeDecodeP99Ms = msq(serve.KindDecode, 0.99)
-	e.ServeXcodeP50Ms = msq(serve.KindTranscode, 0.50)
-	e.ServeXcodeP99Ms = msq(serve.KindTranscode, 0.99)
+	e.ServePreemptions = preempts
+	e.ServeDecodeP50Ms = decodeP50
+	e.ServeDecodeP99Ms = decodeP99
+	e.ServeXcodeP50Ms = xcodeP50
+	e.ServeXcodeP99Ms = xcodeP99
+	e.ServeCacheHitRate = hitRate
+	// Collapses counted across the zipf mix and the storm phase: the
+	// paced mix rarely overlaps misses, the storm always does.
+	e.ServeCacheCollapsed = cacheSnap.Collapsed + stormSnap.Collapsed
+	e.ServeCacheHitP50Ms = cacheSnap.HitP50Ms
+	e.ServeCacheHitP99Ms = cacheSnap.HitP99Ms
+	e.ServeCacheMissP50Ms = cacheSnap.MissP50Ms
+	e.ServeCacheMissP99Ms = cacheSnap.MissP99Ms
 	saveKernelBench(path, &doc)
 
-	fmt.Printf("  load:    %d requests over %.2fs  (%.1f rps target, %.1f rps served)\n",
-		attempts.Load(), elapsed.Seconds(), float64(targetRPS), e.ServeAchievedRPS)
+	fmt.Printf("  load:    %d requests over %.2fs  (%.1f rps target, %.1f rps served; zipf s=%.1f over %d streams)\n",
+		attempts.Load(), elapsed.Seconds(), float64(targetRPS), e.ServeAchievedRPS, zipfS, nStreams)
 	fmt.Printf("  outcome: %d ok, %d rejected (429), %d failed — all 200s bit-identical to the offline codec\n",
 		completed.Load(), rejected.Load(), failed.Load())
-	fmt.Printf("  engines: gold decodes with %d workers (pipeline-parallel), bronze with %d (six-task KPN)\n",
-		goldDecodeWorkers, bronzeDecodeWorkers)
-	fmt.Printf("  decode:  p50 %.2f ms  p99 %.2f ms\n", e.ServeDecodeP50Ms, e.ServeDecodeP99Ms)
+	fmt.Printf("  cache:   %.1f%% hit rate (%d/%d), %d collapsed, hit p50 %.3f ms vs miss p50 %.2f ms\n",
+		hitRate*100, cacheSnap.Hits, hitTotal, cacheSnap.Collapsed, cacheSnap.HitP50Ms, cacheSnap.MissP50Ms)
+	fmt.Printf("  storm:   %d identical requests -> %d admitted decode (%d collapsed, %d late hits)\n",
+		stormN, stormDecodes, stormSnap.Collapsed, stormSnap.Hits)
+	fmt.Printf("  decode:  p50 %.2f ms  p99 %.2f ms\n", decodeP50, decodeP99)
 	fmt.Printf("  xcode:   p50 %.2f ms  p99 %.2f ms  (%d preemptions across the run)\n",
-		e.ServeXcodeP50Ms, e.ServeXcodeP99Ms, e.ServePreemptions)
+		xcodeP50, xcodeP99, preempts)
 	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
 }

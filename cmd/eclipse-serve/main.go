@@ -17,8 +17,14 @@
 // default "default") and an optional X-Timeout-Ms deadline that is
 // enforced end-to-end through the job's Kahn network.
 //
+// Identical requests are served from a content-addressed result cache
+// with singleflight collapse (-cache-bytes budget, per-tenant on/off
+// via the fifth -tenant field); responses carry an X-Cache outcome and
+// a content-address ETag honoring If-None-Match (see DESIGN.md §8).
+//
 // SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight
-// and queued jobs complete (bounded by -drain), then the process exits.
+// and queued jobs complete (bounded by -drain), a serving + cache
+// report is printed to stderr, then the process exits.
 package main
 
 import (
@@ -38,15 +44,15 @@ import (
 )
 
 // tenantFlags collects repeated -tenant
-// name:weight[:queuecap[:decodeworkers]] flags.
+// name:weight[:queuecap[:decodeworkers[:cache]]] flags.
 type tenantFlags []serve.TenantConfig
 
 func (t *tenantFlags) String() string { return fmt.Sprintf("%v", []serve.TenantConfig(*t)) }
 
 func (t *tenantFlags) Set(v string) error {
 	parts := strings.Split(v, ":")
-	if len(parts) < 2 || len(parts) > 4 {
-		return fmt.Errorf("want name:weight[:queuecap[:decodeworkers]], got %q", v)
+	if len(parts) < 2 || len(parts) > 5 {
+		return fmt.Errorf("want name:weight[:queuecap[:decodeworkers[:cache]]], got %q", v)
 	}
 	tc := serve.TenantConfig{Name: parts[0]}
 	w, err := strconv.Atoi(parts[1])
@@ -61,12 +67,22 @@ func (t *tenantFlags) Set(v string) error {
 		}
 		tc.QueueCap = c
 	}
-	if len(parts) == 4 {
+	if len(parts) >= 4 {
 		dw, err := strconv.Atoi(parts[3])
 		if err != nil || dw < 1 {
 			return fmt.Errorf("bad decode workers in %q", v)
 		}
 		tc.DecodeWorkers = dw
+	}
+	if len(parts) == 5 {
+		switch parts[4] {
+		case "on", "1":
+			tc.Cache = serve.CacheOn
+		case "off", "0":
+			tc.Cache = serve.CacheOff
+		default:
+			return fmt.Errorf("bad cache mode %q in %q (want on/off)", parts[4], v)
+		}
 	}
 	*t = append(*t, tc)
 	return nil
@@ -81,12 +97,17 @@ func main() {
 		maxBody  = flag.Int64("max-body", 64<<20, "request body cap in bytes")
 		poolCap  = flag.Int("frame-pool", 256, "frames retained by the shared pool")
 		decodeW  = flag.Int("decode-workers", 1, "default per-tenant decode worker count (1 = six-task KPN pipeline, >1 = pipeline-parallel decoder)")
+		cacheB   = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		tenants  tenantFlags
 	)
-	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap[:decodeworkers]] (repeatable)")
+	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap[:decodeworkers[:cache]]] (repeatable; cache = on/off)")
 	flag.Parse()
 
+	cacheBytes := *cacheB
+	if cacheBytes <= 0 {
+		cacheBytes = -1 // Config treats 0 as "use the default"; the flag's 0 means off
+	}
 	srv := serve.New(serve.Config{
 		Workers:       *workers,
 		BaseSlice:     *slice,
@@ -94,6 +115,7 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		FramePoolCap:  *poolCap,
 		DecodeWorkers: *decodeW,
+		CacheBytes:    cacheBytes,
 		Tenants:       tenants,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -119,5 +141,6 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("eclipse-serve: http shutdown: %v", err)
 	}
+	srv.WriteReport(os.Stderr)
 	log.Printf("eclipse-serve: bye")
 }

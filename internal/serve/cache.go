@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The result cache is the serving layer's answer to the popular-content
+// shape: thousands of identical requests should cost one decode plus N
+// byte-copies, not N decodes. It is the same locality argument the
+// paper makes for the coprocessor shells — exploit reuse at the layer
+// that can see it — lifted one level, from stream windows to whole
+// responses.
+//
+// Ownership discipline (the FramePool/dispPool rules, applied to cached
+// bytes): an entry's body is an immutable snapshot copied into a
+// slab-pooled buffer at fill time — never aliased into live frame
+// arenas or a job's Result. The cache holds one reference; every hit
+// acquires another under the shard lock before the entry can be
+// evicted, and the slab returns to the pool only when the last
+// reference drops. Eviction under byte pressure therefore can never
+// truncate or recycle a buffer a response writer is still reading.
+
+// cacheShardCount is the number of independently locked shards; a
+// power of two so the shard index is a bit mask over the key hash.
+const cacheShardCount = 16
+
+// entryOverhead approximates an entry's bookkeeping bytes (struct, map
+// header, LRU links) for budget accounting.
+const entryOverhead = 160
+
+// cacheEntry is one immutable cached response. prev/next are the
+// intrusive LRU links of its shard (head = most recently used).
+type cacheEntry struct {
+	key    CacheKey
+	body   []byte // slab-backed; len is the exact body size
+	meta   map[string]string
+	tenant string // the tenant whose leader filled the entry
+	size   int64
+	refs   atomic.Int32 // cache's own reference counts as 1
+	prev   *cacheEntry
+	next   *cacheEntry
+}
+
+// release drops one reference; the last one returns the slab.
+func (e *cacheEntry) release(c *Cache) {
+	if e.refs.Add(-1) == 0 {
+		c.slabs.put(e.body)
+	}
+}
+
+// cacheShard is one lock domain: a key map plus an intrusive LRU list
+// under a byte budget.
+type cacheShard struct {
+	mu         sync.Mutex
+	m          map[CacheKey]*cacheEntry
+	head, tail *cacheEntry
+	bytes      int64
+	budget     int64
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// tenantCacheStats are one tenant's cache counters. Hits/misses/
+// collapses are attributed to the requesting tenant; resident bytes and
+// evictions to the tenant whose leader filled the entry.
+type tenantCacheStats struct {
+	hits, misses, collapsed, evictions, notModified atomic.Uint64
+	resident                                        atomic.Int64
+}
+
+// Cache is the sharded, byte-budgeted, content-addressed result cache
+// with an integrated singleflight table (singleflight.go). Concurrency:
+// the hot hit path takes exactly one shard mutex; all counters are
+// atomics; the flight table has its own mutex and is touched only on
+// misses.
+type Cache struct {
+	shards  [cacheShardCount]cacheShard
+	slabs   slabPool
+	flights flightTable
+	budget  int64
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	collapsed   atomic.Uint64
+	fills       atomic.Uint64
+	evictions   atomic.Uint64
+	promotions  atomic.Uint64
+	notModified atomic.Uint64
+	tooLarge    atomic.Uint64
+
+	hitLat  Hist
+	missLat Hist
+
+	tmu     sync.Mutex
+	tenants map[string]*tenantCacheStats
+}
+
+// NewCache builds a cache with the given total byte budget, split
+// evenly across the shards.
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes < cacheShardCount {
+		budgetBytes = cacheShardCount
+	}
+	c := &Cache{budget: budgetBytes, tenants: map[string]*tenantCacheStats{}}
+	for i := range c.shards {
+		c.shards[i].m = map[CacheKey]*cacheEntry{}
+		c.shards[i].budget = budgetBytes / cacheShardCount
+	}
+	c.flights.m = map[CacheKey]*cacheFlight{}
+	return c
+}
+
+// shardOf maps a key to its shard by the hash's first bytes.
+func (c *Cache) shardOf(key CacheKey) *cacheShard {
+	return &c.shards[int(key[0])&(cacheShardCount-1)]
+}
+
+// tstats returns (creating if needed) a tenant's counter block.
+func (c *Cache) tstats(name string) *tenantCacheStats {
+	c.tmu.Lock()
+	s := c.tenants[name]
+	if s == nil {
+		s = &tenantCacheStats{}
+		c.tenants[name] = s
+	}
+	c.tmu.Unlock()
+	return s
+}
+
+// lookup finds a live entry and acquires a reader reference under the
+// shard lock, so eviction cannot recycle the slab while the caller
+// holds it. countMiss selects whether an absent key counts as a miss
+// (the leader's post-join recheck passes false to keep the counters
+// one-per-request).
+func (c *Cache) lookup(key CacheKey, tenant string, countMiss bool) (*cacheEntry, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e := sh.m[key]
+	if e == nil {
+		sh.mu.Unlock()
+		if countMiss {
+			c.misses.Add(1)
+			c.tstats(tenant).misses.Add(1)
+		}
+		return nil, false
+	}
+	sh.moveToFront(e)
+	e.refs.Add(1)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	c.tstats(tenant).hits.Add(1)
+	return e, true
+}
+
+// put copies a successful result into a slab-backed immutable entry and
+// inserts it, evicting from the LRU tail until the shard is back under
+// budget. Oversized results are skipped rather than wiping the shard.
+func (c *Cache) put(key CacheKey, tenant string, res Result) {
+	size := int64(len(res.Body)) + entryOverhead
+	for k, v := range res.Meta {
+		size += int64(len(k) + len(v))
+	}
+	sh := c.shardOf(key)
+	if size > sh.budget {
+		c.tooLarge.Add(1)
+		return
+	}
+	body := c.slabs.get(len(res.Body))
+	copy(body, res.Body)
+	meta := make(map[string]string, len(res.Meta))
+	for k, v := range res.Meta {
+		meta[k] = v
+	}
+	e := &cacheEntry{key: key, body: body, meta: meta, tenant: tenant, size: size}
+	e.refs.Store(1)
+
+	var evicted []*cacheEntry
+	sh.mu.Lock()
+	if sh.m[key] != nil {
+		// A racing leader filled the key first (possible only across
+		// flight generations); keep the resident entry.
+		sh.mu.Unlock()
+		c.slabs.put(body)
+		return
+	}
+	sh.m[key] = e
+	sh.pushFront(e)
+	sh.bytes += size
+	for sh.bytes > sh.budget && sh.tail != e {
+		t := sh.tail
+		sh.unlink(t)
+		delete(sh.m, t.key)
+		sh.bytes -= t.size
+		evicted = append(evicted, t)
+	}
+	sh.mu.Unlock()
+
+	c.fills.Add(1)
+	c.tstats(tenant).resident.Add(size)
+	for _, t := range evicted {
+		c.evictions.Add(1)
+		ts := c.tstats(t.tenant)
+		ts.evictions.Add(1)
+		ts.resident.Add(-t.size)
+		t.release(c)
+	}
+}
+
+// recordNotModified counts an If-None-Match revalidation (304).
+// recordNotModified counts an If-None-Match revalidation answered 304.
+// 304s are tracked separately from hits so the per-tenant hit counters
+// always sum to the global one.
+func (c *Cache) recordNotModified(tenant string) {
+	c.notModified.Add(1)
+	c.tstats(tenant).notModified.Add(1)
+}
+
+// ResidentBytes reports the bytes held across all shards.
+func (c *Cache) ResidentBytes() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].bytes
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// CacheTenantSnapshot is one tenant's cache row in /varz and /metrics.
+type CacheTenantSnapshot struct {
+	Name          string `json:"name"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Collapsed     uint64 `json:"collapsed"`
+	NotModified   uint64 `json:"not_modified"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentBytes int64  `json:"resident_bytes"`
+}
+
+// CacheSnapshot is the cache section of the /varz document.
+type CacheSnapshot struct {
+	BudgetBytes   int64                 `json:"budget_bytes"`
+	ResidentBytes int64                 `json:"resident_bytes"`
+	Entries       int                   `json:"entries"`
+	Hits          uint64                `json:"hits_total"`
+	Misses        uint64                `json:"misses_total"`
+	Collapsed     uint64                `json:"collapsed_total"`
+	NotModified   uint64                `json:"not_modified_total"`
+	Fills         uint64                `json:"fills_total"`
+	Evictions     uint64                `json:"evictions_total"`
+	Promotions    uint64                `json:"promotions_total"`
+	TooLarge      uint64                `json:"too_large_total"`
+	HitP50Ms      float64               `json:"hit_p50_ms"`
+	HitP99Ms      float64               `json:"hit_p99_ms"`
+	MissP50Ms     float64               `json:"miss_p50_ms"`
+	MissP99Ms     float64               `json:"miss_p99_ms"`
+	Tenants       []CacheTenantSnapshot `json:"tenants"`
+}
+
+// Snapshot assembles a consistent-enough view for /varz, /metrics, and
+// the drain report (counters are read individually, like HistSnapshot).
+func (c *Cache) Snapshot() CacheSnapshot {
+	s := CacheSnapshot{
+		BudgetBytes:   c.budget,
+		ResidentBytes: c.ResidentBytes(),
+		Entries:       c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Collapsed:     c.collapsed.Load(),
+		NotModified:   c.notModified.Load(),
+		Fills:         c.fills.Load(),
+		Evictions:     c.evictions.Load(),
+		Promotions:    c.promotions.Load(),
+		TooLarge:      c.tooLarge.Load(),
+		HitP50Ms:      ms(c.hitLat.Quantile(0.50)),
+		HitP99Ms:      ms(c.hitLat.Quantile(0.99)),
+		MissP50Ms:     ms(c.missLat.Quantile(0.50)),
+		MissP99Ms:     ms(c.missLat.Quantile(0.99)),
+	}
+	c.tmu.Lock()
+	for name, ts := range c.tenants {
+		s.Tenants = append(s.Tenants, CacheTenantSnapshot{
+			Name:          name,
+			Hits:          ts.hits.Load(),
+			Misses:        ts.misses.Load(),
+			Collapsed:     ts.collapsed.Load(),
+			NotModified:   ts.notModified.Load(),
+			Evictions:     ts.evictions.Load(),
+			ResidentBytes: ts.resident.Load(),
+		})
+	}
+	c.tmu.Unlock()
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Name < s.Tenants[j].Name })
+	return s
+}
+
+// ObserveHit/ObserveMiss record the request wall time of the two paths;
+// the handler calls them so the histograms measure what the client saw.
+func (c *Cache) ObserveHit(d time.Duration)  { c.hitLat.Observe(d) }
+func (c *Cache) ObserveMiss(d time.Duration) { c.missLat.Observe(d) }
+
+// slabPool recycles entry bodies in power-of-two size classes with a
+// bounded free list per class, the cache-side sibling of the shell's
+// bufPool: fills under eviction churn reuse recycled slabs instead of
+// allocating. Slabs above maxPooledSlab go straight to the GC.
+type slabPool struct {
+	mu      sync.Mutex
+	classes [slabClasses][][]byte
+}
+
+const (
+	slabClasses      = 23      // classes up to 1<<22 = 4 MiB
+	maxPooledSlab    = 1 << 22 // bigger bodies are not worth retaining
+	slabsPerClassCap = 8
+)
+
+// slabClass returns the class whose capacity 1<<class fits n.
+func slabClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a slab of length n (capacity rounded up to the class).
+func (p *slabPool) get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	cl := slabClass(n)
+	if n <= maxPooledSlab {
+		p.mu.Lock()
+		if l := p.classes[cl]; len(l) > 0 {
+			s := l[len(l)-1]
+			p.classes[cl] = l[:len(l)-1]
+			p.mu.Unlock()
+			return s[:n]
+		}
+		p.mu.Unlock()
+	}
+	return make([]byte, n, 1<<cl)
+}
+
+// put returns a slab to its class; mis-sized or surplus slabs are
+// dropped for the GC.
+func (p *slabPool) put(b []byte) {
+	cp := cap(b)
+	if cp == 0 || cp > maxPooledSlab || cp&(cp-1) != 0 {
+		return
+	}
+	cl := slabClass(cp)
+	p.mu.Lock()
+	if len(p.classes[cl]) < slabsPerClassCap {
+		p.classes[cl] = append(p.classes[cl], b[:0])
+	}
+	p.mu.Unlock()
+}

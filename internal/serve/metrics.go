@@ -32,6 +32,7 @@ type TenantSnapshot struct {
 	Weight        int     `json:"weight"`
 	QueueCap      int     `json:"queue_cap"`
 	DecodeWorkers int     `json:"decode_workers"`
+	CacheMode     string  `json:"cache_mode"`
 	QueueDepth    int     `json:"queue_depth"`
 	Admitted      int     `json:"admitted"`
 	Completed     uint64  `json:"completed"`
@@ -67,6 +68,7 @@ type Snapshot struct {
 	Kinds       []KindSnapshot   `json:"kinds"`
 	Tenants     []TenantSnapshot `json:"tenants"`
 	PooledFrame int              `json:"frame_pool_retained"`
+	Cache       *CacheSnapshot   `json:"cache,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -92,7 +94,7 @@ func (m *Metrics) kindSnapshots() []KindSnapshot {
 // WritePrometheus renders the Prometheus text exposition format
 // (counters, gauges, and the per-kind latency histograms) without any
 // external dependency.
-func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained int) {
+func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained int, cache *Cache) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# HELP eclipse_serve_uptime_seconds Time since server start.\n")
@@ -175,5 +177,82 @@ func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained in
 		p("eclipse_serve_latency_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k.String(), snap.Count)
 		p("eclipse_serve_latency_seconds_sum{kind=%q} %g\n", k.String(), float64(snap.SumNs)/1e9)
 		p("eclipse_serve_latency_seconds_count{kind=%q} %d\n", k.String(), snap.Count)
+	}
+
+	if cache != nil {
+		writeCachePrometheus(w, cache)
+	}
+}
+
+// writeCachePrometheus renders the result-cache metric families.
+func writeCachePrometheus(w io.Writer, cache *Cache) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	cs := cache.Snapshot()
+
+	p("# HELP eclipse_serve_cache_budget_bytes Result cache byte budget.\n")
+	p("# TYPE eclipse_serve_cache_budget_bytes gauge\n")
+	p("eclipse_serve_cache_budget_bytes %d\n", cs.BudgetBytes)
+	p("# HELP eclipse_serve_cache_resident_bytes Bytes held by resident cache entries.\n")
+	p("# TYPE eclipse_serve_cache_resident_bytes gauge\n")
+	p("eclipse_serve_cache_resident_bytes %d\n", cs.ResidentBytes)
+	p("# HELP eclipse_serve_cache_entries Resident cache entries.\n")
+	p("# TYPE eclipse_serve_cache_entries gauge\n")
+	p("eclipse_serve_cache_entries %d\n", cs.Entries)
+
+	p("# HELP eclipse_serve_cache_fills_total Successful results copied into the cache.\n")
+	p("# TYPE eclipse_serve_cache_fills_total counter\n")
+	p("eclipse_serve_cache_fills_total %d\n", cs.Fills)
+	p("# HELP eclipse_serve_cache_promotions_total Singleflight followers promoted to leader after a leader-specific failure.\n")
+	p("# TYPE eclipse_serve_cache_promotions_total counter\n")
+	p("eclipse_serve_cache_promotions_total %d\n", cs.Promotions)
+	p("# HELP eclipse_serve_cache_not_modified_total If-None-Match revalidations answered 304.\n")
+	p("# TYPE eclipse_serve_cache_not_modified_total counter\n")
+	p("eclipse_serve_cache_not_modified_total %d\n", cs.NotModified)
+	p("# HELP eclipse_serve_cache_too_large_total Results skipped because they exceed a shard budget.\n")
+	p("# TYPE eclipse_serve_cache_too_large_total counter\n")
+	p("eclipse_serve_cache_too_large_total %d\n", cs.TooLarge)
+
+	p("# HELP eclipse_serve_cache_hits_total Cache hits by requesting tenant.\n")
+	p("# TYPE eclipse_serve_cache_hits_total counter\n")
+	for _, t := range cs.Tenants {
+		p("eclipse_serve_cache_hits_total{tenant=%q} %d\n", t.Name, t.Hits)
+	}
+	p("# HELP eclipse_serve_cache_misses_total Cache misses by requesting tenant.\n")
+	p("# TYPE eclipse_serve_cache_misses_total counter\n")
+	for _, t := range cs.Tenants {
+		p("eclipse_serve_cache_misses_total{tenant=%q} %d\n", t.Name, t.Misses)
+	}
+	p("# HELP eclipse_serve_cache_collapsed_total Requests served by parking on another request's in-flight decode.\n")
+	p("# TYPE eclipse_serve_cache_collapsed_total counter\n")
+	for _, t := range cs.Tenants {
+		p("eclipse_serve_cache_collapsed_total{tenant=%q} %d\n", t.Name, t.Collapsed)
+	}
+	p("# HELP eclipse_serve_cache_evictions_total Entries evicted under byte pressure, by filling tenant.\n")
+	p("# TYPE eclipse_serve_cache_evictions_total counter\n")
+	for _, t := range cs.Tenants {
+		p("eclipse_serve_cache_evictions_total{tenant=%q} %d\n", t.Name, t.Evictions)
+	}
+	p("# HELP eclipse_serve_cache_tenant_resident_bytes Resident bytes attributed to the filling tenant.\n")
+	p("# TYPE eclipse_serve_cache_tenant_resident_bytes gauge\n")
+	for _, t := range cs.Tenants {
+		p("eclipse_serve_cache_tenant_resident_bytes{tenant=%q} %d\n", t.Name, t.ResidentBytes)
+	}
+
+	for _, h := range []struct {
+		name string
+		hist *Hist
+	}{{"hit", &cache.hitLat}, {"miss", &cache.missLat}} {
+		snap := h.hist.Snapshot()
+		p("# HELP eclipse_serve_cache_%s_latency_seconds Request wall time on the %s path.\n", h.name, h.name)
+		p("# TYPE eclipse_serve_cache_%s_latency_seconds histogram\n", h.name)
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += snap.Buckets[i]
+			le := float64(BucketUpperUS(i)) / 1e6
+			p("eclipse_serve_cache_%s_latency_seconds_bucket{le=%q} %d\n", h.name, fmt.Sprintf("%g", le), cum)
+		}
+		p("eclipse_serve_cache_%s_latency_seconds_bucket{le=\"+Inf\"} %d\n", h.name, snap.Count)
+		p("eclipse_serve_cache_%s_latency_seconds_sum %g\n", h.name, float64(snap.SumNs)/1e9)
+		p("eclipse_serve_cache_%s_latency_seconds_count %d\n", h.name, snap.Count)
 	}
 }

@@ -34,16 +34,40 @@ type Config struct {
 	// the pipeline-parallel decoder overlaps entropy parse with per-row
 	// reconstruction on that many workers. Default 1.
 	DecodeWorkers int
+	// CacheBytes is the result cache's total byte budget. 0 selects the
+	// default (256 MiB); negative disables the cache entirely.
+	CacheBytes int64
 	// Tenants pre-declares tenants with non-default weight or capacity.
 	Tenants []TenantConfig
+}
+
+// CacheMode is a tenant's result-cache override.
+type CacheMode int
+
+const (
+	CacheDefault CacheMode = iota // follow the server-wide setting
+	CacheOn
+	CacheOff
+)
+
+// String names the mode for /varz.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheOn:
+		return "on"
+	case CacheOff:
+		return "off"
+	}
+	return "default"
 }
 
 // TenantConfig declares one tenant's scheduling parameters.
 type TenantConfig struct {
 	Name          string
-	Weight        int // scheduling-slice multiplier; ≥1
-	QueueCap      int // admission bound; ≥1
-	DecodeWorkers int // decode engine width; 0 → Config.DecodeWorkers
+	Weight        int       // scheduling-slice multiplier; ≥1
+	QueueCap      int       // admission bound; ≥1
+	DecodeWorkers int       // decode engine width; 0 → Config.DecodeWorkers
+	Cache         CacheMode // per-tenant result-cache override
 }
 
 // withDefaults fills zero fields.
@@ -68,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DecodeWorkers <= 0 {
 		c.DecodeWorkers = 1
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
 	}
 	return c
 }
@@ -102,6 +129,7 @@ type tenant struct {
 	weight        int
 	cap           int
 	decodeWorkers int
+	cacheMode     CacheMode
 
 	q        []*Job // admitted, waiting (including preempted jobs)
 	admitted int    // waiting + running, not yet finished
@@ -141,7 +169,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 	s := &Scheduler{cfg: cfg, met: met, byName: map[string]*tenant{}}
 	s.cond = sync.NewCond(&s.mu)
 	for _, tc := range cfg.Tenants {
-		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap, tc.DecodeWorkers)
+		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap, tc.DecodeWorkers, tc.Cache)
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -152,7 +180,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 
 // tenantLocked returns the named tenant, creating it with the given (or
 // default) parameters. Caller holds s.mu or is the constructor.
-func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int) *tenant {
+func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int, cache CacheMode) *tenant {
 	if t, ok := s.byName[name]; ok {
 		return t
 	}
@@ -165,7 +193,7 @@ func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int) *tenan
 	if dworkers <= 0 {
 		dworkers = s.cfg.DecodeWorkers
 	}
-	t := &tenant{name: name, weight: weight, cap: qcap, decodeWorkers: dworkers}
+	t := &tenant{name: name, weight: weight, cap: qcap, decodeWorkers: dworkers, cacheMode: cache}
 	s.tenants = append(s.tenants, t)
 	s.byName[name] = t
 	return t
@@ -184,6 +212,25 @@ func (s *Scheduler) DecodeWorkersFor(name string) int {
 	return s.cfg.DecodeWorkers
 }
 
+// CacheEnabledFor reports whether the result cache applies to a
+// tenant's requests: the server-wide setting (CacheBytes > 0) unless
+// the tenant declared an explicit on/off override.
+func (s *Scheduler) CacheEnabledFor(name string) bool {
+	s.mu.Lock()
+	mode := CacheDefault
+	if t, ok := s.byName[name]; ok {
+		mode = t.cacheMode
+	}
+	s.mu.Unlock()
+	switch mode {
+	case CacheOn:
+		return true
+	case CacheOff:
+		return false
+	}
+	return s.cfg.CacheBytes > 0
+}
+
 // Submit admits a job or rejects it: ErrDraining during shutdown, or a
 // *QueueFullError when the tenant's bounded queue has no space.
 func (s *Scheduler) Submit(j *Job) error {
@@ -192,7 +239,7 @@ func (s *Scheduler) Submit(j *Job) error {
 		s.mu.Unlock()
 		return ErrDraining
 	}
-	t := s.tenantLocked(j.Tenant, 0, 0, 0)
+	t := s.tenantLocked(j.Tenant, 0, 0, 0, CacheDefault)
 	if t.admitted >= t.cap {
 		t.rejects++
 		ra := s.retryAfterLocked(t)
@@ -412,6 +459,7 @@ func (s *Scheduler) SnapshotTenants() []TenantSnapshot {
 			Weight:        t.weight,
 			QueueCap:      t.cap,
 			DecodeWorkers: t.decodeWorkers,
+			CacheMode:     t.cacheMode.String(),
 			QueueDepth:    len(t.q),
 			Admitted:      t.admitted,
 			Completed:     t.completed,
@@ -423,6 +471,15 @@ func (s *Scheduler) SnapshotTenants() []TenantSnapshot {
 		})
 	}
 	return out
+}
+
+// Running reports whether the scheduler still admits work. The cached
+// serving path checks it so a draining server refuses new requests with
+// 503 even when the answer is resident.
+func (s *Scheduler) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateRunning
 }
 
 // Admitted reports jobs currently in the system.

@@ -21,6 +21,7 @@ type Server struct {
 	sched *Scheduler
 	met   *Metrics
 	pool  *media.SyncFramePool
+	cache *Cache // nil when CacheBytes < 0 disables caching entirely
 	mux   *http.ServeMux
 }
 
@@ -34,6 +35,9 @@ func New(cfg Config) *Server {
 		sched: NewScheduler(cfg, met),
 		pool:  media.NewSyncFramePool(cfg.FramePoolCap),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = NewCache(cfg.CacheBytes)
 	}
 	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
 	s.mux.HandleFunc("POST /v1/encode", s.handleEncode)
@@ -52,6 +56,9 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// Cache exposes the result cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
 
 // Shutdown drains the scheduler: admission stops (Submit and the HTTP
 // handlers return 503), queued and running jobs complete, workers exit.
@@ -97,24 +104,15 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	http.Error(w, err.Error(), code)
 }
 
-// submitAndWait runs the common tail of every media endpoint: submit the
-// job, map admission rejections, wait for completion (or client
-// disconnect / deadline), and classify the outcome.
-func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx context.Context, j *Job) {
+// runJob submits a job through admission control and waits for its
+// completion (or the request's disconnect/deadline). It is the unit of
+// work the cache's singleflight leader executes: admission rejections
+// and context deaths come back as errors for leaderSpecificErr to
+// classify.
+func (s *Server) runJob(ctx context.Context, j *Job) (Result, error) {
 	if err := s.sched.Submit(j); err != nil {
-		var qf *QueueFullError
-		switch {
-		case errors.As(err, &qf):
-			w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Seconds())))
-			httpError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrDraining):
-			httpError(w, http.StatusServiceUnavailable, err)
-		default:
-			httpError(w, http.StatusInternalServerError, err)
-		}
-		return
+		return Result{}, err
 	}
-
 	select {
 	case <-j.Done():
 	case <-ctx.Done():
@@ -123,31 +121,101 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx conte
 		j.Cancel()
 		<-j.Done()
 	}
+	return j.Result()
+}
 
-	res, err := j.Result()
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			httpError(w, http.StatusGatewayTimeout, err)
-		case errors.Is(err, context.Canceled):
-			// Client disconnected; the status code is for the log only.
-			httpError(w, 499, err)
-		case errors.Is(err, media.ErrBitstream):
-			httpError(w, http.StatusBadRequest, err)
-		default:
-			httpError(w, http.StatusInternalServerError, err)
-		}
-		return
+// writeJobError maps a job failure to its HTTP status.
+func writeJobError(w http.ResponseWriter, err error) {
+	var qf *QueueFullError
+	switch {
+	case errors.As(err, &qf):
+		w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Seconds())))
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// Client disconnected; the status code is for the log only.
+		httpError(w, 499, err)
+	case errors.Is(err, media.ErrBitstream):
+		httpError(w, http.StatusBadRequest, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
 	}
+}
+
+// writeResult sends a successful result body. Callers set any
+// path-specific headers (ETag, X-Cache, X-Job-Preempts) first.
+func (s *Server) writeResult(w http.ResponseWriter, res Result) {
 	for k, v := range res.Meta {
 		w.Header().Set(k, v)
 	}
-	w.Header().Set("X-Job-Preempts", strconv.Itoa(j.Preempts()))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(res.Body)))
 	w.WriteHeader(http.StatusOK)
 	n, _ := w.Write(res.Body)
 	s.met.BytesOut.Add(uint64(n))
+}
+
+// submitAndWait is the uncached tail of a media endpoint.
+func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx context.Context, j *Job) {
+	res, err := s.runJob(ctx, j)
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", CacheBypass.String())
+	w.Header().Set("X-Job-Preempts", strconv.Itoa(j.Preempts()))
+	s.writeResult(w, res)
+}
+
+// serveCached is the cached tail: revalidate against the content
+// address, then serve from the cache, a collapsed flight, or a fresh
+// decode as leader. The prebuilt job j runs only if this request ends
+// up leading its key's flight.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ctx context.Context, tenant string, key CacheKey, j *Job) {
+	start := time.Now()
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, key) {
+		// The ETag is the content address, so a match proves the client
+		// already holds the exact bytes — no cache entry or decode needed.
+		s.cache.recordNotModified(tenant)
+		w.Header().Set("ETag", key.ETag())
+		w.Header().Set("X-Cache", CacheRevalidated.String())
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	res, release, outcome, err := s.cache.Fetch(ctx, key, tenant, func() (Result, error) {
+		return s.runJob(ctx, j)
+	})
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	defer release()
+	if outcome == CacheHit {
+		s.cache.ObserveHit(time.Since(start))
+	} else {
+		// Collapsed followers waited on a real decode; their latency
+		// belongs to the miss path so the hit histogram stays honest.
+		s.cache.ObserveMiss(time.Since(start))
+	}
+	w.Header().Set("ETag", key.ETag())
+	w.Header().Set("X-Cache", outcome.String())
+	if outcome == CacheMiss {
+		w.Header().Set("X-Job-Preempts", strconv.Itoa(j.Preempts()))
+	}
+	s.writeResult(w, res)
+}
+
+// dispatch routes a built job through the cached or uncached tail
+// according to the tenant's cache mode.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, ctx context.Context, tenant string, key CacheKey, j *Job) {
+	if s.cache != nil && s.sched.CacheEnabledFor(tenant) && s.sched.Running() {
+		s.serveCached(w, r, ctx, tenant, key, j)
+		return
+	}
+	s.submitAndWait(w, r, ctx, j)
 }
 
 // handleDecode serves POST /v1/decode: body is an ECL1 bitstream, the
@@ -170,7 +238,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submitAndWait(w, r, ctx, j)
+	s.dispatch(w, r, ctx, tenant, decodeCacheKey(body), j)
 }
 
 // encodeConfig parses the encode query parameters into a codec config.
@@ -241,12 +309,13 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := NewEncodeJob(ctx, tenantOf(r), cfg, body, s.pool)
+	tenant := tenantOf(r)
+	j, err := NewEncodeJob(ctx, tenant, cfg, body, s.pool)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submitAndWait(w, r, ctx, j)
+	s.dispatch(w, r, ctx, tenant, encodeCacheKey(cfg, body), j)
 }
 
 // handleTranscode serves POST /v1/transcode?q=: body is an ECL1
@@ -279,7 +348,7 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submitAndWait(w, r, ctx, j)
+	s.dispatch(w, r, ctx, tenant, transcodeCacheKey(q, body), j)
 }
 
 // handleHealthz reports readiness: 200 while running, 503 once draining
@@ -294,7 +363,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // varz assembles the JSON status document.
 func (s *Server) varz() Snapshot {
+	var cs *CacheSnapshot
+	if s.cache != nil {
+		snap := s.cache.Snapshot()
+		cs = &snap
+	}
 	return Snapshot{
+		Cache:       cs,
 		State:       s.sched.StateString(),
 		UptimeSec:   time.Since(s.met.Start).Seconds(),
 		Workers:     s.cfg.Workers,
@@ -321,5 +396,5 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.WritePrometheus(w, s.sched, s.pool.Retained())
+	s.met.WritePrometheus(w, s.sched, s.pool.Retained(), s.cache)
 }

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Singleflight collapse: concurrent requests for the same cache key
+// cost one decode. The first requester becomes the flight's leader and
+// submits the real job through admission control; followers park on the
+// leader's completion channel without consuming scheduler slices or
+// admission space. The interaction with admission is deliberate — a
+// 1000-request storm on one key admits exactly one job, so the tenant
+// queues (the GetSpace analogue) see popular content as a single unit
+// of work.
+//
+// Leadership is not sticky: a leader that fails for reasons specific to
+// its own request — its client disconnected, its deadline expired, its
+// tenant's queue was full, the server is draining — abdicates, and one
+// parked follower is promoted to lead a fresh attempt instead of the
+// key being stranded. Deterministic failures (a malformed bitstream
+// produces the same error for every requester) are broadcast to all
+// followers instead.
+
+// cacheFlight is one in-flight key. All state transitions happen under
+// the flightTable mutex; doneCh/promoteCh carry the cross-goroutine
+// signals. Invariant: at most one promotion token is outstanding,
+// because only the current leader can abdicate and abdication clears
+// hasLeader until a follower claims it.
+type cacheFlight struct {
+	doneCh    chan struct{} // closed on terminal completion
+	promoteCh chan struct{} // cap 1; a token transfers leadership
+	res       Result
+	err       error
+	waiters   int
+	hasLeader bool
+}
+
+// flightTable maps keys to their in-flight state. A single mutex is
+// enough: it is touched only on cache misses, and a same-key storm
+// serializes on its flight either way.
+type flightTable struct {
+	mu sync.Mutex
+	m  map[CacheKey]*cacheFlight
+}
+
+// join returns the key's flight and whether the caller leads it.
+func (t *flightTable) join(key CacheKey) (*cacheFlight, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.m[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	f := &cacheFlight{
+		doneCh:    make(chan struct{}),
+		promoteCh: make(chan struct{}, 1),
+		hasLeader: true,
+	}
+	t.m[key] = f
+	return f, true
+}
+
+// complete publishes the terminal result, removes the flight, and wakes
+// every follower.
+func (t *flightTable) complete(key CacheKey, f *cacheFlight, res Result, err error) {
+	t.mu.Lock()
+	f.res, f.err = res, err
+	if t.m[key] == f {
+		delete(t.m, key)
+	}
+	t.mu.Unlock()
+	close(f.doneCh)
+}
+
+// abdicate hands leadership to one parked follower, or retires the
+// flight if nobody is waiting.
+func (t *flightTable) abdicate(key CacheKey, f *cacheFlight) {
+	t.mu.Lock()
+	f.hasLeader = false
+	if f.waiters > 0 {
+		// Buffered send cannot block: a token is outstanding only while
+		// hasLeader is false, and we just cleared it.
+		f.promoteCh <- struct{}{}
+		t.mu.Unlock()
+		return
+	}
+	if t.m[key] == f {
+		delete(t.m, key)
+	}
+	t.mu.Unlock()
+}
+
+// claim records that a follower took the promotion token.
+func (t *flightTable) claim(f *cacheFlight) {
+	t.mu.Lock()
+	f.waiters--
+	f.hasLeader = true
+	t.mu.Unlock()
+}
+
+// leave removes a follower whose own context died. The last leaver of a
+// leaderless flight drains any unclaimed promotion token and retires
+// the flight so the key is never stranded.
+func (t *flightTable) leave(key CacheKey, f *cacheFlight) {
+	t.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 && !f.hasLeader {
+		select {
+		case <-f.promoteCh:
+		default:
+		}
+		if t.m[key] == f {
+			delete(t.m, key)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// errFlightRetry is the internal completion sentinel for "the leader
+// found the key already cached": followers re-read the cache (each
+// acquiring its own entry reference) instead of sharing an unrefcounted
+// body.
+var errFlightRetry = errors.New("serve: flight retry")
+
+// leaderSpecificErr classifies failures that condemn only the leader's
+// own request, not the key: follower promotion is the right response.
+func leaderSpecificErr(err error) bool {
+	var qf *QueueFullError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrDraining) ||
+		errors.As(err, &qf)
+}
+
+// CacheOutcome classifies how a request was served, for the X-Cache
+// header and the hit/miss latency histograms.
+type CacheOutcome int
+
+const (
+	CacheBypass      CacheOutcome = iota // caching disabled for the tenant
+	CacheHit                             // served from a resident entry
+	CacheMiss                            // led the decode (possibly after promotion)
+	CacheCollapsed                       // parked on another request's flight
+	CacheRevalidated                     // If-None-Match matched: 304
+)
+
+// String names the outcome for the X-Cache response header.
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheCollapsed:
+		return "collapsed"
+	case CacheRevalidated:
+		return "revalidated"
+	}
+	return "bypass"
+}
+
+// Fetch serves key from the cache or produces it via run, collapsing
+// concurrent identical requests into one execution. release must be
+// called after the returned body has been consumed (it pins the entry's
+// slab on the hit path; elsewhere it is a no-op). run executes on the
+// calling goroutine, at most once per Fetch.
+func (c *Cache) Fetch(ctx context.Context, key CacheKey, tenant string, run func() (Result, error)) (res Result, release func(), outcome CacheOutcome, err error) {
+	noop := func() {}
+	countMiss := true
+attempt:
+	for {
+		if e, ok := c.lookup(key, tenant, countMiss); ok {
+			return Result{Body: e.body, Meta: e.meta}, func() { e.release(c) }, CacheHit, nil
+		}
+		countMiss = false
+		f, leader := c.flights.join(key)
+		for !leader {
+			select {
+			case <-f.doneCh:
+				if f.err == errFlightRetry {
+					// The previous leader found a fresh fill; re-read it
+					// under our own entry reference.
+					continue attempt
+				}
+				if f.err != nil {
+					return Result{}, noop, CacheCollapsed, f.err
+				}
+				c.collapsed.Add(1)
+				c.tstats(tenant).collapsed.Add(1)
+				return f.res, noop, CacheCollapsed, nil
+			case <-f.promoteCh:
+				c.flights.claim(f)
+				c.promotions.Add(1)
+				leader = true
+			case <-ctx.Done():
+				c.flights.leave(key, f)
+				return Result{}, noop, CacheCollapsed, ctx.Err()
+			}
+		}
+		// Leader. Re-check the cache first: a previous flight may have
+		// filled the key between our lookup and join, and a promoted
+		// leader inherits that window too. This recheck is what makes
+		// "N identical requests, exactly one decode" airtight.
+		if e, ok := c.lookup(key, tenant, false); ok {
+			c.flights.complete(key, f, Result{}, errFlightRetry)
+			return Result{Body: e.body, Meta: e.meta}, func() { e.release(c) }, CacheHit, nil
+		}
+		finished := false
+		defer func() {
+			// Panic safety: a leader that unwinds without completing
+			// abdicates so followers are promoted, never stranded.
+			if !finished {
+				c.flights.abdicate(key, f)
+			}
+		}()
+		res, err = run()
+		if err != nil && leaderSpecificErr(err) {
+			finished = true
+			c.flights.abdicate(key, f)
+			return Result{}, noop, CacheMiss, err
+		}
+		if err == nil {
+			c.put(key, tenant, res)
+		}
+		finished = true
+		c.flights.complete(key, f, res, err)
+		return res, noop, CacheMiss, err
+	}
+}

@@ -269,8 +269,8 @@ type Shell struct {
 	demandOverl uint64
 	// flushRow/flushMem park the PutSpace flush target for issueFlushFn,
 	// the pre-bound flushOverlapping callback.
-	flushRow    *streamRow
-	flushMem    *mem.Memory
+	flushRow     *streamRow
+	flushMem     *mem.Memory
 	issueFlushFn func(addr uint32, data []byte)
 
 	proc *sim.Proc
