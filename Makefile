@@ -10,9 +10,12 @@
 #                goroutines)
 #   make fuzz-smoke  a few seconds of each media-layer fuzzer — the CI
 #                    guard that the corpus-reachable code stays panic-free
-#                    (includes the parallel/serial decode-parity fuzzer)
+#                    (includes the parallel/serial decode-parity fuzzer
+#                    and the fused/two-phase transcode-parity fuzzer)
 #   make bench-smoke single-iteration run of the decode/encode/shell
 #                    benchmarks, so CI catches harness breakage cheaply
+#   make bench-transcode  fused vs two-phase transcode benchmark with
+#                         allocation stats and the peak-in-flight gauge
 #   make bench   paper-experiment benchmarks with allocation stats
 #   make bench-media  media kernel microbenchmarks (bit I/O, VLC, SAD,
 #                     DCT, full encode) with allocation stats
@@ -29,7 +32,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media perf bench-baseline benchcmp
+.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media bench-transcode perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -51,13 +54,14 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
-	$(GO) test -race -run 'Encode|Golden|ParallelParity|DecodeOptions|DisplayFramesInto' ./internal/media
+	$(GO) test -race -run 'Encode|Golden|ParallelParity|DecodeOptions|DisplayFramesInto|Streaming|StreamSink' ./internal/media
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBitReaderRoundTrip -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzHuffDecode -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzDecodeParallelParity -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzCacheKeyCanonical -fuzztime=5s ./internal/serve
+	$(GO) test -run=NONE -fuzz=FuzzTranscodeFusedParity -fuzztime=5s ./internal/serve
 
 # bench-smoke compiles and runs every decode/encode/shell benchmark for
 # exactly one iteration — a CI-friendly guard that the benchmark
@@ -72,6 +76,9 @@ bench:
 
 bench-media:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/media
+
+bench-transcode:
+	$(GO) test -run=NONE -bench=BenchmarkTranscode -benchmem ./internal/serve
 
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel

@@ -89,6 +89,23 @@ type kernelBenchEntry struct {
 	ServeCacheHitP99Ms  float64 `json:"serve_cache_hit_p99_ms,omitempty"`
 	ServeCacheMissP50Ms float64 `json:"serve_cache_miss_p50_ms,omitempty"`
 	ServeCacheMissP99Ms float64 `json:"serve_cache_miss_p99_ms,omitempty"`
+
+	// Fused streaming transcode (the transcode-heavy loadgen phase, run
+	// cache-disabled so every request exercises the full pipeline):
+	// latency quantiles of the fused decoder→encoder path, its peak
+	// in-flight frame count (the bounded-memory claim: O(GOP M), not
+	// O(clip frames)), and the per-op heap traffic of the fused job
+	// against the retained two-phase baseline on the same clip.
+	XcodeP50Ms           float64 `json:"serve_transcode_fused_p50_ms,omitempty"`
+	XcodeP99Ms           float64 `json:"serve_transcode_fused_p99_ms,omitempty"`
+	XcodePeakFrames      int64   `json:"transcode_peak_frames_inflight,omitempty"`
+	XcodeClipFrames      int     `json:"transcode_clip_frames,omitempty"`
+	XcodeBytesPerOp      float64 `json:"transcode_bytes_per_op,omitempty"`
+	XcodeMsPerOp         float64 `json:"transcode_ms_per_op,omitempty"`
+	XcodeTwoPhaseBytesOp float64 `json:"transcode_two_phase_bytes_per_op,omitempty"`
+	XcodeTwoPhaseMsPerOp float64 `json:"transcode_two_phase_ms_per_op,omitempty"`
+	XcodePushStalls      uint64  `json:"transcode_push_stalls,omitempty"`
+	XcodePullStalls      uint64  `json:"transcode_pull_stalls,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.

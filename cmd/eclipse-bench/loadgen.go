@@ -11,10 +11,17 @@ package main
 //  2. an identical-request storm on a cold key, asserting the
 //     singleflight table collapses it to exactly one admitted decode;
 //  3. a cache-disabled replay of the catalog, asserting byte-identical
-//     responses with the cache on and off.
+//     responses with the cache on and off;
+//  4. a transcode-heavy phase on a longer clip, cache-disabled so every
+//     request runs the fused decoder→encoder pipeline end to end:
+//     records the fused latency quantiles, the peak in-flight frame
+//     gauge (the bounded-memory claim), the handoff stall split, and —
+//     via testing.Benchmark over the job objects directly — the per-op
+//     wall time and heap traffic of the fused job against the retained
+//     two-phase baseline on the same clip.
 //
-// The serve_* fields of the perf trajectory (including the cache
-// hit/miss latency split) are recorded in BENCH_kernel.json,
+// The serve_* and transcode_* fields of the perf trajectory (including
+// the cache hit/miss latency split) are recorded in BENCH_kernel.json,
 // merge-preserving other subsystems' fields.
 
 import (
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -252,6 +260,119 @@ func loadgenBench() {
 	}
 	drain(offSrv, offTS)
 
+	// ---- Phase 4: transcode-heavy, cache-disabled (fused pipeline) ----
+	const (
+		xcodeClipFrames = 24
+		xcodeShots      = 24
+	)
+	xcodeClip := workload(176, 144, xcodeClipFrames, 6, 7)
+	xcodeRef, err := media.Decode(xcodeClip)
+	if err != nil {
+		fail(err)
+	}
+	xcodeWant, _, _, err := media.Encode(serve.TranscodeConfig(xcodeRef.Seq, xcodeQ), xcodeRef.DisplayFrames())
+	if err != nil {
+		fail(err)
+	}
+	xSrv, xTS := newServer(-1) // cache off: every request runs the pipeline
+	var xWG sync.WaitGroup
+	var xFail atomic.Uint64
+	for i := 0; i < xcodeShots; i++ {
+		xWG.Add(1)
+		tenant := "gold"
+		if i%2 == 1 {
+			tenant = "bronze"
+		}
+		go func(tenant string) {
+			defer xWG.Done()
+			// The burst intentionally exceeds the admission bounds; retry
+			// 429s so every shot eventually verifies the fused output.
+			for {
+				code, body := do(fmt.Sprintf("%s/v1/transcode?q=%d", xTS.URL, xcodeQ), tenant, xcodeClip)
+				if code == http.StatusTooManyRequests {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				if code != http.StatusOK || !bytes.Equal(body, xcodeWant) {
+					xFail.Add(1)
+				}
+				return
+			}
+		}(tenant)
+	}
+	xWG.Wait()
+	xMet := xSrv.Metrics()
+	fusedP50 := float64(xMet.Latency[serve.KindTranscode].Quantile(0.50)) / 1e6
+	fusedP99 := float64(xMet.Latency[serve.KindTranscode].Quantile(0.99)) / 1e6
+	xPeak := xMet.XcodePeakFrames.Load()
+	xPush, xPull := xMet.XcodePushStalls.Load(), xMet.XcodePullStalls.Load()
+	drain(xSrv, xTS)
+	if xFail.Load() > 0 {
+		fail(fmt.Errorf("loadgen: %d fused transcode responses failed or diverged", xFail.Load()))
+	}
+	if xPeak <= 0 || xPeak >= int64(xcodeClipFrames) {
+		fail(fmt.Errorf("loadgen: fused peak in-flight frames %d not GOP-bounded for a %d-frame clip",
+			xPeak, xcodeClipFrames))
+	}
+
+	// Per-op cost of the job objects themselves (no HTTP, no scheduler
+	// contention): fused vs the retained two-phase baseline. Warm-up
+	// iterations populate the frame pool and code caches, then a fixed
+	// iteration count is measured with explicit GC fences so the two
+	// variants see the same heap state regardless of the phases above.
+	const (
+		benchWarmup = 2
+		benchIters  = 10
+	)
+	benchSched := serve.NewScheduler(serve.Config{Workers: 1, BaseSlice: time.Minute, QueueCap: 64}, serve.NewMetrics())
+	type perOp struct{ msPerOp, bytesPerOp float64 }
+	benchJob := func(mk func(pool *media.SyncFramePool) (*serve.Job, error)) perOp {
+		// A fresh pool per op makes the job provision its own in-flight
+		// frames, so bytes/op reflects the pipeline's working set (the
+		// quantity fusion bounds) rather than a warm pool's steady state.
+		run := func() {
+			pool := media.NewSyncFramePool(64)
+			j, err := mk(pool)
+			if err != nil {
+				fail(err)
+			}
+			if err := benchSched.Submit(j); err != nil {
+				fail(err)
+			}
+			<-j.Done()
+			if _, err := j.Result(); err != nil {
+				fail(err)
+			}
+		}
+		for i := 0; i < benchWarmup; i++ {
+			run()
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < benchIters; i++ {
+			run()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return perOp{
+			msPerOp:    float64(elapsed) / 1e6 / benchIters,
+			bytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / benchIters,
+		}
+	}
+	fusedRes := benchJob(func(pool *media.SyncFramePool) (*serve.Job, error) {
+		return serve.NewTranscodeJob(context.Background(), "bench", xcodeClip, xcodeQ, pool,
+			goldDecodeWorkers, 0, nil)
+	})
+	twoPhaseRes := benchJob(func(pool *media.SyncFramePool) (*serve.Job, error) {
+		return serve.NewTranscodeJobTwoPhase(context.Background(), "bench", xcodeClip, xcodeQ, pool,
+			goldDecodeWorkers, 0)
+	})
+	if err := benchSched.Drain(context.Background()); err != nil {
+		fail(err)
+	}
+
 	entryDate := time.Now().Format("2006-01-02")
 	doc := loadKernelBench(path)
 	e := benchEntry(&doc, id)
@@ -277,6 +398,16 @@ func loadgenBench() {
 	e.ServeCacheHitP99Ms = cacheSnap.HitP99Ms
 	e.ServeCacheMissP50Ms = cacheSnap.MissP50Ms
 	e.ServeCacheMissP99Ms = cacheSnap.MissP99Ms
+	e.XcodeP50Ms = fusedP50
+	e.XcodeP99Ms = fusedP99
+	e.XcodePeakFrames = xPeak
+	e.XcodeClipFrames = xcodeClipFrames
+	e.XcodeBytesPerOp = fusedRes.bytesPerOp
+	e.XcodeMsPerOp = fusedRes.msPerOp
+	e.XcodeTwoPhaseBytesOp = twoPhaseRes.bytesPerOp
+	e.XcodeTwoPhaseMsPerOp = twoPhaseRes.msPerOp
+	e.XcodePushStalls = xPush
+	e.XcodePullStalls = xPull
 	saveKernelBench(path, &doc)
 
 	fmt.Printf("  load:    %d requests over %.2fs  (%.1f rps target, %.1f rps served; zipf s=%.1f over %d streams)\n",
@@ -290,5 +421,10 @@ func loadgenBench() {
 	fmt.Printf("  decode:  p50 %.2f ms  p99 %.2f ms\n", decodeP50, decodeP99)
 	fmt.Printf("  xcode:   p50 %.2f ms  p99 %.2f ms  (%d preemptions across the run)\n",
 		xcodeP50, xcodeP99, preempts)
+	fmt.Printf("  fused:   p50 %.2f ms  p99 %.2f ms over %d cache-off transcodes of a %d-frame clip\n",
+		fusedP50, fusedP99, xcodeShots, xcodeClipFrames)
+	fmt.Printf("           peak %d frames in flight (stalls: %d push / %d pull)\n", xPeak, xPush, xPull)
+	fmt.Printf("  per-op:  fused %.2f ms, %.1f KiB  vs  two-phase %.2f ms, %.1f KiB\n",
+		e.XcodeMsPerOp, e.XcodeBytesPerOp/1024, e.XcodeTwoPhaseMsPerOp, e.XcodeTwoPhaseBytesOp/1024)
 	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
 }

@@ -97,6 +97,7 @@ func main() {
 		maxBody  = flag.Int64("max-body", 64<<20, "request body cap in bytes")
 		poolCap  = flag.Int("frame-pool", 256, "frames retained by the shared pool")
 		decodeW  = flag.Int("decode-workers", 1, "default per-tenant decode worker count (1 = six-task KPN pipeline, >1 = pipeline-parallel decoder)")
+		encodeW  = flag.Int("encode-workers", 0, "per-job encode analysis fan-out (0 = NumCPU)")
 		cacheB   = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		tenants  tenantFlags
@@ -115,6 +116,7 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		FramePoolCap:  *poolCap,
 		DecodeWorkers: *decodeW,
+		EncodeWorkers: *encodeW,
 		CacheBytes:    cacheBytes,
 		Tenants:       tenants,
 	})

@@ -50,12 +50,13 @@ func (s *EncodeStats) TotalBits() int {
 // composed from the same stage kernels (DecideMB, TransformMB,
 // EncodeMBSyntax, ...) that the Eclipse coprocessor models execute.
 type Encoder struct {
-	cfg   CodecConfig
-	seq   SeqHeader
-	w     *BitWriter
-	refs  RefChain
-	stats EncodeStats
-	rows  []encRow // per-row analysis state, reused across frames
+	cfg     CodecConfig
+	seq     SeqHeader
+	w       *BitWriter
+	refs    RefChain
+	stats   EncodeStats
+	rows    []encRow // per-row analysis state, reused across frames
+	workers int      // analysis fan-out override; <= 0 → EncodeWorkers
 }
 
 // mbEnc is one macroblock's analysis-pass output, buffered between the
@@ -147,8 +148,12 @@ func (e *Encoder) encodeFrame(cur *Frame, ftype FrameType, tref int) *Frame {
 	}
 
 	// Phase 1: parallel per-row analysis.
+	workers := e.workers
+	if workers <= 0 {
+		workers = EncodeWorkers
+	}
 	fwdRef, bwdRef := e.refs.Refs(ftype)
-	if err := par.Run(e.seq.MBRows, EncodeWorkers, func(mby int) error {
+	if err := par.Run(e.seq.MBRows, workers, func(mby int) error {
 		e.analyzeRow(cur, recon, ftype, mby, fwdRef, bwdRef)
 		return nil
 	}); err != nil {

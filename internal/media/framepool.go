@@ -58,6 +58,7 @@ type SyncFramePool struct {
 	mu   sync.Mutex
 	pool FramePool
 	max  int // bound on retained frames; 0 = unbounded
+	out  int // frames handed out via Get and not yet returned via Put
 }
 
 // NewSyncFramePool returns a concurrency-safe pool retaining at most
@@ -70,6 +71,7 @@ func NewSyncFramePool(maxRetained int) *SyncFramePool {
 func (p *SyncFramePool) Get(w, h int) *Frame {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.out++
 	return p.pool.Get(w, h)
 }
 
@@ -80,6 +82,7 @@ func (p *SyncFramePool) Put(f *Frame) {
 		return
 	}
 	p.mu.Lock()
+	p.out--
 	if p.max == 0 || len(p.pool.free) < p.max {
 		p.pool.Put(f)
 	}
@@ -98,4 +101,15 @@ func (p *SyncFramePool) Retained() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.pool.free)
+}
+
+// Outstanding reports Get calls minus Put calls: the frames currently
+// checked out of the pool. Leak detectors (lifecycle tests that cancel
+// or preempt jobs mid-pipeline) assert this returns to zero once every
+// job using the pool has unwound. Frames allocated elsewhere and handed
+// to Put make the count go negative, so keep pool traffic symmetric.
+func (p *SyncFramePool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out
 }

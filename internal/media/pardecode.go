@@ -67,6 +67,28 @@ type DecodeOptions struct {
 	// non-nil error aborts the decode with that error: the serving
 	// layer's preemption/cancellation checkpoint.
 	OnFrame func(coded int) error
+	// OnDisplayFrame, when non-nil, switches the decode into streaming
+	// mode: it is called once per frame, in strictly increasing display
+	// order, as soon as the frame's last row is reconstructed AND every
+	// earlier display index has been delivered. The frame stays valid at
+	// least until Retire is called for it; the decoder may keep reading
+	// it as a motion-compensation reference in the meantime, so the
+	// consumer must not mutate or recycle it before its Retire. A
+	// non-nil return aborts the decode with that error. In streaming
+	// mode the returned DecodeResult carries frame headers only
+	// (Coded[i].Frame is nil) — the decoder retains no frames, which is
+	// what bounds its memory to the reorder window. Display indices are
+	// validated to form a bijection with [0, Frames): streams that would
+	// leave display holes fail with ErrBitstream at the parse point.
+	OnDisplayFrame func(di int, f *Frame) error
+	// Retire, in streaming mode, is called exactly once per delivered
+	// frame when the decoder's own interest in it ends (its reference
+	// window passed, the decode finished, or the decode aborted). After
+	// a frame's Retire the consumer is its sole owner. Frames created
+	// but never delivered (abort paths) go to Recycle instead, exactly
+	// once. Delivery callbacks and Retire may run on different
+	// goroutines, but never concurrently for the same frame.
+	Retire func(f *Frame)
 }
 
 // DecodeWithOptions decodes with explicit worker-count, frame-allocation
@@ -216,15 +238,18 @@ func (b *decRowBatch) run(coef, resid *[BlocksPerMB]Block, pred, out *MBPixels) 
 // state: rows [0, done) are fully reconstructed. Workers reconstructing
 // dependent frames block in waitRows until the prefix they need exists.
 type decFrame struct {
-	f       *Frame
-	mu      sync.Mutex
-	cond    sync.Cond
-	done    int
-	rowDone []bool
+	f            *Frame
+	sink         *streamSink // streaming delivery, nil in batch mode
+	di           int         // display index (valid when sink != nil)
+	fwdDi, bwdDi int         // display indices of this frame's references (-1 = none)
+	mu           sync.Mutex
+	cond         sync.Cond
+	done         int
+	rowDone      []bool
 }
 
 func newDecFrame(f *Frame, rows int) *decFrame {
-	d := &decFrame{f: f, rowDone: make([]bool, rows)}
+	d := &decFrame{f: f, fwdDi: -1, bwdDi: -1, rowDone: make([]bool, rows)}
 	d.cond.L = &d.mu
 	return d
 }
@@ -237,8 +262,16 @@ func (d *decFrame) markRow(row int) {
 	for d.done < len(d.rowDone) && d.rowDone[d.done] {
 		d.done++
 	}
+	finished := d.done == len(d.rowDone)
 	d.mu.Unlock()
 	d.cond.Broadcast()
+	// The contiguous prefix reaches the end exactly once (done is
+	// monotone and each row is marked once), so this fires once per
+	// frame — marking the frame complete AND ending its reads of its
+	// references (all motion compensation from them has run).
+	if finished && d.sink != nil {
+		d.sink.frameComplete(d.di, d.fwdDi, d.bwdDi)
+	}
 }
 
 // waitRows blocks until at least n rows are reconstructed.
@@ -310,8 +343,27 @@ func decodeParallel(stream []byte, opts *DecodeOptions, workers int) (*DecodeRes
 	var parseErr error
 	var zz Block // validateMBTokens scratch
 
+	// Streaming mode: a dedicated goroutine walks the display order and
+	// fires OnDisplayFrame, while the parser throttles itself to a
+	// bounded coded-frame window past the delivery cursor — GOPM covers
+	// the worst-case reorder distance, +2 keeps the pipeline full
+	// (window >= 2 is the deadlock-freedom floor, see waitWindow).
+	streaming := opts.OnDisplayFrame != nil
+	var sink *streamSink
+	if streaming {
+		sink = newStreamSink(opts, seq.Frames, seq.GOPM+2)
+		sink.join.Add(1)
+		go sink.run()
+	}
+
 parse:
 	for fi := 0; fi < seq.Frames; fi++ {
+		if streaming {
+			if err := sink.waitWindow(fi); err != nil {
+				parseErr = err
+				break
+			}
+		}
 		if opts.OnFrame != nil {
 			if err := opts.OnFrame(fi); err != nil {
 				parseErr = err
@@ -334,13 +386,37 @@ parse:
 			break
 		}
 		df := newDecFrame(newFrame(seq.W(), seq.H()), rows)
-		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: df.f})
+		if streaming {
+			df.sink, df.di = sink, int(hdr.TRef)
+			if err := sink.frameParsed(df.di, df.f, hdr.Type != FrameB); err != nil {
+				if opts.Recycle != nil {
+					opts.Recycle(df.f) // never entered the sink's custody
+				}
+				parseErr = fmt.Errorf("frame %d: %w", fi, err)
+				break
+			}
+			res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr})
+		} else {
+			res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: df.f})
+		}
 		var fwd, bwd *decFrame
 		switch hdr.Type {
 		case FrameP:
 			fwd = refB
 		case FrameB:
 			fwd, bwd = refA, refB
+		}
+		if streaming {
+			// Stake out this frame's reads of its references before any of
+			// its rows can run: the references' Retire must wait for them.
+			if fwd != nil {
+				df.fwdDi = fwd.di
+				sink.addReader(fwd.di)
+			}
+			if bwd != nil {
+				df.bwdDi = bwd.di
+				sink.addReader(bwd.di)
+			}
 		}
 		var mvp MVPredictor
 		for mby := 0; mby < rows; mby++ {
@@ -370,12 +446,42 @@ parse:
 			work <- bat
 		}
 		if hdr.Type != FrameB {
+			dropped := refA
 			refA, refB = refB, df
+			if streaming && dropped != nil {
+				sink.chainDrop(dropped.di)
+			}
 		}
 	}
 
+	if streaming && parseErr != nil {
+		sink.fail(parseErr) // stop deliveries promptly; workers still drain below
+	}
 	close(work)
 	wg.Wait() // all enqueued rows reconstructed; no goroutine touches frames past here
+
+	if streaming {
+		if parseErr == nil {
+			// Drop the final references so their Retire fires as soon as
+			// each is delivered, then wait for the display order to finish.
+			if refA != nil {
+				sink.chainDrop(refA.di)
+			}
+			if refB != nil {
+				sink.chainDrop(refB.di)
+			}
+			parseErr = sink.waitDelivered()
+			if parseErr != nil {
+				sink.fail(parseErr)
+			}
+		}
+		sink.join.Wait()
+		sink.cleanup() // release whatever delivery/chainDrop did not
+		if parseErr != nil {
+			return nil, parseErr
+		}
+		return res, nil
+	}
 
 	if parseErr != nil {
 		if opts.Recycle != nil {
@@ -402,8 +508,19 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 		newFrame = NewFrame
 	}
 	res := &DecodeResult{Seq: seq}
+	// Streaming mode shares the parallel path's sink but delivers inline
+	// on this goroutine after each decoded frame (no delivery goroutine,
+	// no lookahead window), so delivery order and errors are identical
+	// across worker counts.
+	streaming := opts.OnDisplayFrame != nil
+	var sink *streamSink
+	if streaming {
+		sink = newStreamSink(opts, seq.Frames, 0)
+	}
 	fail := func(err error) (*DecodeResult, error) {
-		if opts.Recycle != nil {
+		if streaming {
+			sink.cleanup()
+		} else if opts.Recycle != nil {
 			for _, df := range res.Coded {
 				opts.Recycle(df.Frame)
 			}
@@ -411,6 +528,7 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 		return nil, err
 	}
 	var refs RefChain
+	var refDi [2]int // display indices shadowing refs.A, refs.B
 	for fi := 0; fi < seq.Frames; fi++ {
 		if opts.OnFrame != nil {
 			if err := opts.OnFrame(fi); err != nil {
@@ -425,8 +543,41 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 		if err != nil {
 			return fail(fmt.Errorf("frame %d: %w", fi, err))
 		}
-		res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: frame})
+		if streaming {
+			if err := sink.frameParsed(int(hdr.TRef), frame, hdr.Type != FrameB); err != nil {
+				if opts.Recycle != nil {
+					opts.Recycle(frame) // never entered the sink's custody
+				}
+				return fail(fmt.Errorf("frame %d: %w", fi, err))
+			}
+			// decodeFrameBody read its references synchronously above, so no
+			// reader stakes are needed on the serial path.
+			sink.frameComplete(int(hdr.TRef), -1, -1)
+			res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr})
+		} else {
+			res.Coded = append(res.Coded, DecodedFrame{Hdr: hdr, Frame: frame})
+		}
+		if hdr.Type != FrameB {
+			if streaming && refs.A != nil {
+				sink.chainDrop(refDi[0])
+			}
+			refDi[0], refDi[1] = refDi[1], int(hdr.TRef)
+		}
 		refs.Advance(frame, hdr.Type)
+		if streaming {
+			if err := sink.deliverInline(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if streaming {
+		if refs.A != nil {
+			sink.chainDrop(refDi[0])
+		}
+		if refs.B != nil {
+			sink.chainDrop(refDi[1])
+		}
+		sink.cleanup() // safety net; a valid stream has released everything
 	}
 	return res, nil
 }

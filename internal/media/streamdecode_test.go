@@ -1,0 +1,197 @@
+package media
+
+// Streaming-delivery decoder tests: the OnDisplayFrame hook must hand
+// out frames in display order with pixels identical to the batch
+// decoder, for every worker count, and the Retire/Recycle accounting
+// must return every frame exactly once on success and on abort.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func streamTestClip(t testing.TB, w, h, frames, gopn, gopm int, halfPel bool) ([]byte, []*Frame) {
+	t.Helper()
+	src := DefaultSource(w, h)
+	src.Seed = 7
+	in := NewSource(src).Frames(frames)
+	cfg := DefaultCodec(w, h)
+	cfg.GOPN = gopn
+	cfg.GOPM = gopm
+	cfg.HalfPel = halfPel
+	stream, _, _, err := Encode(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, in
+}
+
+// TestStreamingDecodeParity checks display-order delivery with pixel
+// content identical to the batch decode, across worker counts and GOP
+// shapes, with exact Retire accounting.
+func TestStreamingDecodeParity(t *testing.T) {
+	for _, tc := range []struct {
+		frames, gopn, gopm int
+		halfPel            bool
+	}{
+		{9, 12, 3, true},
+		{8, 8, 1, false},
+		{14, 6, 5, true},
+		{5, 255, 15, false},
+	} {
+		stream, _ := streamTestClip(t, 64, 48, tc.frames, tc.gopn, tc.gopm, tc.halfPel)
+		ref, err := Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.DisplayFrames()
+		for workers := 1; workers <= 8; workers++ {
+			t.Run(fmt.Sprintf("m%d-w%d", tc.gopm, workers), func(t *testing.T) {
+				var got []*Frame
+				// Retire may fire on the parser, worker, or delivery
+				// goroutine (only same-frame concurrency is excluded),
+				// so the accounting needs its own lock.
+				var mu sync.Mutex
+				retired := map[*Frame]int{}
+				recycled := 0
+				res, err := DecodeWithOptions(stream, DecodeOptions{
+					Workers: workers,
+					OnDisplayFrame: func(di int, f *Frame) error {
+						if di != len(got) {
+							return fmt.Errorf("delivered display index %d, want %d", di, len(got))
+						}
+						// Snapshot pixels at delivery time: mutation after
+						// delivery (but before Retire) would break the
+						// fused consumer even if the frame is "eventually"
+						// correct.
+						c := NewFrame(f.W, f.H)
+						copy(c.Pix, f.Pix)
+						got = append(got, c)
+						return nil
+					},
+					Retire: func(f *Frame) {
+						mu.Lock()
+						retired[f]++
+						mu.Unlock()
+					},
+					Recycle: func(f *Frame) {
+						mu.Lock()
+						recycled++
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != tc.frames {
+					t.Fatalf("delivered %d frames, want %d", len(got), tc.frames)
+				}
+				for di, f := range got {
+					if !bytes.Equal(f.Pix, want[di].Pix) {
+						t.Errorf("display frame %d pixels differ from batch decode", di)
+					}
+				}
+				if len(retired) != tc.frames {
+					t.Errorf("retired %d distinct frames, want %d", len(retired), tc.frames)
+				}
+				for f, n := range retired {
+					if n != 1 {
+						t.Errorf("frame %p retired %d times", f, n)
+					}
+				}
+				if recycled != 0 {
+					t.Errorf("%d frames recycled on success; all should be retired", recycled)
+				}
+				// Streaming mode returns header-only coded entries.
+				for i, cf := range res.Coded {
+					if cf.Frame != nil {
+						t.Fatalf("coded[%d].Frame non-nil in streaming mode", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingDecodeCallbackError aborts delivery from the hook and
+// checks the error surfaces and every frame is handed back exactly once
+// (Retire for delivered, Recycle for the rest).
+func TestStreamingDecodeCallbackError(t *testing.T) {
+	stream, _ := streamTestClip(t, 64, 48, 10, 12, 3, true)
+	sentinel := errors.New("consumer full")
+	for workers := 1; workers <= 4; workers++ {
+		for _, stopAt := range []int{0, 1, 4} {
+			t.Run(fmt.Sprintf("w%d-stop%d", workers, stopAt), func(t *testing.T) {
+				var mu sync.Mutex
+				handedBack := map[*Frame]int{}
+				issued := map[*Frame]bool{}
+				back := func(f *Frame) {
+					mu.Lock()
+					handedBack[f]++
+					mu.Unlock()
+				}
+				delivered := 0
+				_, err := DecodeWithOptions(stream, DecodeOptions{
+					Workers: workers,
+					NewFrame: func(w, h int) *Frame {
+						f := NewFrame(w, h)
+						mu.Lock()
+						issued[f] = true
+						mu.Unlock()
+						return f
+					},
+					OnDisplayFrame: func(di int, f *Frame) error {
+						if di == stopAt {
+							return sentinel
+						}
+						delivered++
+						return nil
+					},
+					Retire:  back,
+					Recycle: back,
+				})
+				if !errors.Is(err, sentinel) {
+					t.Fatalf("err = %v, want %v", err, sentinel)
+				}
+				for f := range issued {
+					if handedBack[f] != 1 {
+						t.Errorf("frame %p handed back %d times, want exactly 1", f, handedBack[f])
+					}
+				}
+				for f := range handedBack {
+					if !issued[f] {
+						t.Errorf("unknown frame %p handed back", f)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamSinkBadTRef feeds the sink out-of-range and duplicate
+// display indices directly and expects ErrBitstream from both.
+func TestStreamSinkBadTRef(t *testing.T) {
+	mk := func() *streamSink {
+		return newStreamSink(&DecodeOptions{
+			OnDisplayFrame: func(int, *Frame) error { return nil },
+		}, 4, 6)
+	}
+	s := mk()
+	if err := s.frameParsed(4, NewFrame(16, 16), true); !errors.Is(err, ErrBitstream) {
+		t.Errorf("out-of-range TRef: err = %v, want ErrBitstream", err)
+	}
+	s = mk()
+	if err := s.frameParsed(-1, NewFrame(16, 16), true); !errors.Is(err, ErrBitstream) {
+		t.Errorf("negative TRef: err = %v, want ErrBitstream", err)
+	}
+	s = mk()
+	if err := s.frameParsed(2, NewFrame(16, 16), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.frameParsed(2, NewFrame(16, 16), false); !errors.Is(err, ErrBitstream) {
+		t.Errorf("duplicate TRef: err = %v, want ErrBitstream", err)
+	}
+}

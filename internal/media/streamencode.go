@@ -16,16 +16,29 @@ type StreamEncoder struct {
 	// Recycle, when non-nil, is called with each source frame as soon as
 	// the encoder is done reading it (its macroblocks are coded and it
 	// will never be referenced again) — the hook a serving path uses to
-	// return request frames to a shared pool.
+	// return request frames to a shared pool. Abort also routes the
+	// still-buffered frames through it.
 	Recycle func(*Frame)
 
-	enc     *Encoder
-	types   []FrameType // display order
-	order   []int       // coded order (display indices)
-	pushed  int         // frames received so far (display order)
-	coded   int         // prefix of order already encoded
-	pending map[int]*Frame
-	closed  bool
+	// Workers bounds the per-frame analysis parallelism (the par.Run
+	// fan-out over macroblock rows). 0 falls back to the process-wide
+	// EncodeWorkers default. The bitstream is bit-identical for every
+	// value — only the entropy pass is serially dependent, and it always
+	// replays in raster order.
+	Workers int
+
+	enc    *Encoder
+	types  []FrameType // display order
+	order  []int       // coded order (display indices)
+	pushed int         // frames received so far (display order)
+	coded  int         // prefix of order already encoded
+	// Reorder window: pending frames indexed di % len(ring). The display
+	// indices simultaneously buffered span at most GOPM consecutive
+	// values (a run of B frames plus the reference that releases them),
+	// so GOPM+1 slots can never collide; ringDi guards the invariant.
+	ring   []*Frame
+	ringDi []int // display index occupying each slot; -1 = empty
+	closed bool
 }
 
 // NewStreamEncoder validates the configuration and prepares an encoder
@@ -38,11 +51,20 @@ func NewStreamEncoder(cfg CodecConfig, frames int) (*StreamEncoder, error) {
 		return nil, fmt.Errorf("media: frame count %d out of range", frames)
 	}
 	types := GOPTypes(frames, cfg.GOPN, cfg.GOPM)
+	window := cfg.GOPM + 1
+	if window > frames {
+		window = frames
+	}
+	ringDi := make([]int, window)
+	for i := range ringDi {
+		ringDi[i] = -1
+	}
 	return &StreamEncoder{
-		enc:     newEncoder(cfg, frames),
-		types:   types,
-		order:   CodedOrder(types),
-		pending: map[int]*Frame{},
+		enc:    newEncoder(cfg, frames),
+		types:  types,
+		order:  CodedOrder(types),
+		ring:   make([]*Frame, window),
+		ringDi: ringDi,
 	}, nil
 }
 
@@ -59,16 +81,24 @@ func (e *StreamEncoder) Push(f *Frame) error {
 	if f.W != e.enc.cfg.W || f.H != e.enc.cfg.H {
 		return fmt.Errorf("media: frame %d is %dx%d, want %dx%d", e.pushed, f.W, f.H, e.enc.cfg.W, e.enc.cfg.H)
 	}
-	e.pending[e.pushed] = f
+	slot := e.pushed % len(e.ring)
+	if e.ringDi[slot] != -1 {
+		return fmt.Errorf("media: internal reorder window overflow at frame %d", e.pushed)
+	}
+	e.ring[slot] = f
+	e.ringDi[slot] = e.pushed
 	e.pushed++
+	e.enc.workers = e.Workers
 	// Encode the coded-order prefix that is now available.
 	for e.coded < len(e.order) {
 		di := e.order[e.coded]
-		src, ok := e.pending[di]
-		if !ok {
-			break
+		s := di % len(e.ring)
+		if e.ringDi[s] != di {
+			break // not pushed yet
 		}
-		delete(e.pending, di)
+		src := e.ring[s]
+		e.ring[s] = nil
+		e.ringDi[s] = -1
 		e.enc.encodeFrame(src, e.types[di], di)
 		e.coded++
 		if e.Recycle != nil {
@@ -92,4 +122,26 @@ func (e *StreamEncoder) Close() ([]byte, *EncodeStats, error) {
 		return nil, nil, fmt.Errorf("media: internal reorder stall at coded frame %d", e.coded)
 	}
 	return e.enc.w.Bytes(), &e.enc.stats, nil
+}
+
+// Abort abandons the stream mid-flight: every frame still buffered in
+// the reorder window is handed to Recycle and further Push/Close calls
+// fail. The hook error-unwinding paths use so pooled frames pushed but
+// not yet coded are not leaked. No-op on an already closed or aborted
+// encoder.
+func (e *StreamEncoder) Abort() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for i, f := range e.ring {
+		if f == nil {
+			continue
+		}
+		e.ring[i] = nil
+		e.ringDi[i] = -1
+		if e.Recycle != nil {
+			e.Recycle(f)
+		}
+	}
 }

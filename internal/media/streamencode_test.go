@@ -19,6 +19,8 @@ func TestStreamEncoderBitIdentical(t *testing.T) {
 		{"halfpel", 9, func(c *CodecConfig) { c.HalfPel = true }},
 		{"single", 1, func(c *CodecConfig) {}},
 		{"tail-b-promoted", 6, func(c *CodecConfig) { c.GOPN = 12; c.GOPM = 3 }},
+		{"deep-reorder", 13, func(c *CodecConfig) { c.GOPN = 10; c.GOPM = 5 }},
+		{"gop-m4-halfpel", 11, func(c *CodecConfig) { c.GOPN = 8; c.GOPM = 4; c.HalfPel = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -52,6 +54,87 @@ func TestStreamEncoderBitIdentical(t *testing.T) {
 				t.Fatalf("stats differ: %d vs %d bits", gotStats.TotalBits(), wantStats.TotalBits())
 			}
 		})
+	}
+}
+
+// TestStreamEncoderWorkers proves the per-encoder analysis fan-out
+// override is perf-only: any Workers value (including mid-stream
+// changes) emits the exact batch-encoder bytes.
+func TestStreamEncoderWorkers(t *testing.T) {
+	src := DefaultSource(96, 80)
+	src.Seed = 11
+	frames := NewSource(src).Frames(9)
+	cfg := DefaultCodec(96, 80)
+	cfg.HalfPel = true
+	want, _, _, err := Encode(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 0; workers <= 4; workers++ {
+		se, err := NewStreamEncoder(cfg, len(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		se.Workers = workers
+		for i, f := range frames {
+			if i == len(frames)/2 {
+				se.Workers = workers + 1 // mid-stream change must be safe too
+			}
+			if err := se.Push(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _, err := se.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: bitstream differs from batch encoder", workers)
+		}
+	}
+}
+
+// TestStreamEncoderAbort checks that aborting mid-stream recycles every
+// frame buffered in the reorder ring exactly once and nothing else.
+func TestStreamEncoderAbort(t *testing.T) {
+	cfg := DefaultCodec(96, 80)
+	cfg.GOPN = 9
+	cfg.GOPM = 3
+	src := DefaultSource(96, 80)
+	src.Seed = 3
+	frames := NewSource(src).Frames(8)
+
+	for stopAt := 1; stopAt <= len(frames); stopAt++ {
+		recycled := map[*Frame]int{}
+		se, err := NewStreamEncoder(cfg, len(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		se.Recycle = func(f *Frame) { recycled[f]++ }
+		for i := 0; i < stopAt; i++ {
+			if err := se.Push(frames[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		se.Abort()
+		se.Abort() // idempotent
+		for f, n := range recycled {
+			if n != 1 {
+				t.Errorf("stopAt=%d: frame %p recycled %d times", stopAt, f, n)
+			}
+		}
+		// Every pushed frame is recycled exactly once: either when coded
+		// (Push drains the ring) or by Abort for the still-pending ones.
+		total := 0
+		for _, n := range recycled {
+			total += n
+		}
+		if total != stopAt {
+			t.Errorf("stopAt=%d: %d recycles, want %d", stopAt, total, stopAt)
+		}
+		if err := se.Push(frames[0]); err == nil {
+			t.Errorf("stopAt=%d: Push after Abort should fail", stopAt)
+		}
 	}
 }
 
@@ -109,4 +192,23 @@ func TestSyncFramePool(t *testing.T) {
 	}
 	p.Put(nil) // no-op
 	p.PutAll([]*Frame{nil, c})
+}
+
+// TestSyncFramePoolOutstanding checks the leak-detection counter: Gets
+// minus Puts, unaffected by the retention bound or size classes.
+func TestSyncFramePoolOutstanding(t *testing.T) {
+	p := NewSyncFramePool(1)
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("fresh pool outstanding = %d, want 0", got)
+	}
+	a, b := p.Get(32, 32), p.Get(16, 16)
+	if got := p.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d after 2 Gets, want 2", got)
+	}
+	p.Put(a)
+	p.Put(b) // beyond retention bound: dropped, but still accounted
+	p.Put(nil)
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d after returning all, want 0", got)
+	}
 }

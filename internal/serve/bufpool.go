@@ -1,0 +1,34 @@
+package serve
+
+// Response-body buffer pool. Decode responses are large (frames × W×H
+// bytes of raw luma) and short-lived, so NewDecodeJob draws them from a
+// size-classed pool — the same power-of-two slab scheme as the result
+// cache's entry bodies — instead of allocating a fresh slice per
+// request.
+//
+// Ownership rules (who may call putRespBuf):
+//
+//   - The job body owns the buffer until it returns it as Result.Body.
+//   - On the UNCACHED tail (submitAndWait) exactly one handler writes
+//     the body and nothing else retains it, so the handler recycles it
+//     after the write.
+//   - On the CACHED tail the buffer must NOT be recycled: cache.put
+//     copies the body into the cache's own slab (the cache never aliases
+//     it), but singleflight hands the leader's Result — same Body slice —
+//     to every collapsed follower, and followers may still be writing it
+//     out after the leader finishes. Those bodies are left to the GC.
+//
+// Violating the rule hands the pool a buffer another handler is reading;
+// a later getRespBuf would then scribble over an in-flight response.
+var respBufs slabPool
+
+// getRespBuf returns a length-n buffer from the pool (capacity rounded
+// up to its power-of-two class). Contents are NOT zeroed; callers must
+// overwrite all n bytes.
+func getRespBuf(n int) []byte { return respBufs.get(n) }
+
+// putRespBuf recycles a response body. Callers must be the sole owner —
+// see the ownership rules above. Buffers with non-power-of-two or
+// oversized capacity are dropped silently, so it is safe to feed it any
+// Result.Body whose provenance satisfies the ownership rule.
+func putRespBuf(b []byte) { respBufs.put(b) }

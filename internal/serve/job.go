@@ -231,9 +231,12 @@ func NewDecodeJob(ctx context.Context, tenant string, stream []byte, pool *media
 			return Result{}, err
 		}
 		plane := seq.W() * seq.H()
-		out := make([]byte, 0, len(frames)*plane)
+		// Pooled response body: recycled by the uncached HTTP tail once
+		// written (see bufpool.go for the ownership rules).
+		out := getRespBuf(len(frames) * plane)
+		off := 0
 		for _, f := range frames {
-			out = append(out, f.Pix...)
+			off += copy(out[off:], f.Pix)
 		}
 		n := len(frames)
 		pool.PutAll(frames)
@@ -248,7 +251,9 @@ func NewDecodeJob(ctx context.Context, tenant string, stream []byte, pool *media
 // plane is streamed through a two-task KPN graph (rawsrc→enc) so the
 // job is preemptible at frame granularity; the encode itself is the
 // push-based StreamEncoder, bit-identical to the batch encoder.
-func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw []byte, pool *media.SyncFramePool) (*Job, error) {
+// encWorkers bounds the per-frame analysis fan-out (0 = the
+// media.EncodeWorkers default).
+func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw []byte, pool *media.SyncFramePool, encWorkers int) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -284,6 +289,7 @@ func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw
 				if err != nil {
 					return err
 				}
+				se.Workers = encWorkers
 				se.Recycle = pool.Put
 				for i := 0; i < frames; i++ {
 					f := pool.Get(cfg.W, cfg.H)
@@ -314,13 +320,244 @@ func NewEncodeJob(ctx context.Context, tenant string, cfg media.CodecConfig, raw
 	return NewJob(tenant, KindEncode, ctx, body), nil
 }
 
-// NewTranscodeJob builds a job that decodes a bitstream (see
-// decodeFrames for the workers-selected engine) and re-encodes it at
-// quantizer q (GOP structure, dimensions, and half-pel mode inherited
-// from the source sequence header). The encode phase runs as a single
-// Kahn task checkpointing once per frame, so both phases are
-// preemptible and share the job's gate and deadline.
-func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool, workers int) (*Job, error) {
+// fusedHandoffDepth bounds the display-order frames buffered between
+// the fused transcode's decode task (delivery hook) and encode task.
+// Deliberately small: the decoder's own reorder window already absorbs
+// GOP reordering, so the handoff only needs enough slack to ride out
+// scheduling jitter between the two stages.
+const fusedHandoffDepth = 2
+
+// frameRefs counts the joint owners of frames crossing the fused
+// decoder→encoder handoff. A delivered frame has two stakes: the
+// decoder's (it may keep reading the frame as a motion-compensation
+// reference long after delivery; released by the Retire hook) and the
+// encoder's (released once the frame is coded, or by the unwind paths).
+// Only when the last stake drops may the frame return to the shared
+// pool — Get zeroes pixels, so recycling earlier would corrupt
+// in-flight prediction.
+type frameRefs struct {
+	mu sync.Mutex
+	n  map[*media.Frame]int
+}
+
+func (r *frameRefs) add(f *media.Frame, n int) {
+	r.mu.Lock()
+	r.n[f] += n
+	r.mu.Unlock()
+}
+
+// release drops one stake and hands the frame to put when none remain.
+// Frames that never went through add (undelivered ones the decoder
+// recycles directly) bypass the table entirely.
+func (r *frameRefs) release(f *media.Frame, put func(*media.Frame)) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	n, tracked := r.n[f]
+	if tracked {
+		n--
+		if n == 0 {
+			delete(r.n, f)
+		} else {
+			r.n[f] = n
+		}
+	}
+	r.mu.Unlock()
+	if !tracked || n == 0 {
+		put(f)
+	}
+}
+
+// inflightFrames instruments one job's traffic through the shared frame
+// pool with a current/peak gauge — the measurable form of the fused
+// pipeline's bounded-memory claim (peak stays O(GOP M + reconstruction
+// window) instead of O(frames)).
+type inflightFrames struct {
+	pool *media.SyncFramePool
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+func (t *inflightFrames) get(w, h int) *media.Frame {
+	cur := t.cur.Add(1)
+	for {
+		p := t.peak.Load()
+		if cur <= p || t.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	return t.pool.Get(w, h)
+}
+
+func (t *inflightFrames) put(f *media.Frame) {
+	if f == nil {
+		return
+	}
+	t.cur.Add(-1)
+	t.pool.Put(f)
+}
+
+// NewTranscodeJob builds a job that decodes a bitstream and re-encodes
+// it at quantizer q (GOP structure, dimensions, and half-pel mode
+// inherited from the source sequence header) as one fused streaming
+// pipeline: a two-task Kahn network where the decode task delivers
+// display-order frames through a bounded channel straight into the
+// encode task's StreamEncoder. Both tasks checkpoint once per frame, so
+// preemption and cancellation land at frame boundaries in either stage;
+// frames are jointly owned (see frameRefs) and recycled into pool the
+// moment both stages are done with them, keeping in-flight memory
+// bounded by the GOP reorder distance rather than the clip length. The
+// output is bit-identical to decoding everything first and batch
+// re-encoding. encWorkers bounds the encoder's per-frame analysis
+// fan-out (0 = the media.EncodeWorkers default); met, when non-nil,
+// receives the peak-in-flight gauge and handoff stall counters.
+func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool, workers, encWorkers int, met *Metrics) (*Job, error) {
+	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
+	if err != nil {
+		return nil, err
+	}
+	cfg := TranscodeConfig(seq, q)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+		track := &inflightFrames{pool: pool}
+		refs := &frameRefs{n: make(map[*media.Frame]int)}
+		release := func(f *media.Frame) { refs.release(f, track.put) }
+
+		// Decoder→encoder handoff. `dead` breaks the decode side's
+		// blocking send once the encode task has failed (a Go-channel
+		// block is invisible to the KPN deadlock detector, so the handoff
+		// must unwind itself); encFailure carries the encoder's root
+		// cause so both tasks report the same error regardless of which
+		// one the executor records first.
+		handoff := make(chan *media.Frame, fusedHandoffDepth)
+		dead := make(chan struct{})
+		var deadOnce sync.Once
+		var encFailure error
+		encFailed := func(err error) {
+			deadOnce.Do(func() {
+				encFailure = err
+				close(dead)
+			})
+		}
+
+		g := kpn.NewGraph("xcode")
+		g.AddTask("dec", "decode")
+		g.AddTask("enc", "encode")
+		var out []byte
+		var stats *media.EncodeStats
+		funcs := map[string]kpn.TaskFunc{
+			"decode": func(c *kpn.TaskCtx) error {
+				defer close(handoff)
+				_, err := media.DecodeWithOptions(stream, media.DecodeOptions{
+					Workers:  workers,
+					NewFrame: track.get,
+					Recycle:  track.put, // undelivered frames: decoder is sole owner
+					OnFrame:  func(int) error { return c.Checkpoint() },
+					OnDisplayFrame: func(di int, f *media.Frame) error {
+						refs.add(f, 2) // decoder stake (until Retire) + encoder stake
+						select {
+						case handoff <- f:
+							return nil
+						default:
+						}
+						if met != nil {
+							met.XcodePushStalls.Add(1)
+						}
+						select {
+						case handoff <- f:
+							return nil
+						case <-dead:
+							release(f) // the encoder's stake; Retire still covers the decoder's
+							return encFailure
+						}
+					},
+					Retire: release,
+				})
+				return err
+			},
+			"encode": func(c *kpn.TaskCtx) error {
+				se, err := media.NewStreamEncoder(cfg, seq.Frames)
+				if err != nil {
+					encFailed(err)
+					return err
+				}
+				se.Workers = encWorkers
+				se.Recycle = release
+				got := 0
+				for {
+					var f *media.Frame
+					var ok bool
+					select {
+					case f, ok = <-handoff:
+					default:
+						if met != nil {
+							met.XcodePullStalls.Add(1)
+						}
+						f, ok = <-handoff
+					}
+					if !ok {
+						break
+					}
+					got++
+					if err := c.Checkpoint(); err != nil {
+						release(f)
+						encFailed(err)
+						se.Abort()
+						return err
+					}
+					if err := se.Push(f); err != nil {
+						release(f) // Push failed before taking custody
+						encFailed(err)
+						se.Abort()
+						return err
+					}
+				}
+				if got < seq.Frames {
+					// The decoder aborted mid-stream; report success here so
+					// its failure (the root cause) becomes the job error.
+					se.Abort()
+					return nil
+				}
+				out, stats, err = se.Close()
+				if err != nil {
+					encFailed(err)
+					return err
+				}
+				return nil
+			},
+		}
+		err := kpn.RunContext(ctx, g, funcs, kpn.WithGate(gate))
+		// Both tasks have returned: frames still sitting in the handoff
+		// were delivered (decoder stake already retired on unwind) but
+		// never reached the encoder — drop their encoder stake here.
+		for f := range handoff {
+			release(f)
+		}
+		if met != nil {
+			met.recordXcodePeak(track.peak.Load())
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		meta := seqMeta(seq, seq.Frames)
+		meta["X-Seq-Q"] = strconv.Itoa(q)
+		meta["X-Seq-Bits"] = strconv.Itoa(stats.TotalBits())
+		meta["X-Transcode-Peak-Frames"] = strconv.FormatInt(track.peak.Load(), 10)
+		return Result{Body: out, Meta: meta}, nil
+	}
+	return NewJob(tenant, KindTranscode, ctx, body), nil
+}
+
+// NewTranscodeJobTwoPhase is the pre-fusion reference implementation:
+// fully decode into pooled display-order frames, then re-encode as a
+// single checkpointed Kahn task. It materializes every display frame at
+// once (O(frames) pool traffic) and is retained as the baseline that
+// parity tests and BenchmarkTranscode measure the fused pipeline
+// against.
+func NewTranscodeJobTwoPhase(ctx context.Context, tenant string, stream []byte, q int, pool *media.SyncFramePool, workers, encWorkers int) (*Job, error) {
 	seq, err := media.ParseSeqHeader(media.NewBitReader(stream))
 	if err != nil {
 		return nil, err
@@ -348,14 +585,17 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 				if err != nil {
 					return err
 				}
+				se.Workers = encWorkers
 				se.Recycle = pool.Put
 				for i, f := range frames {
 					if err := c.Checkpoint(); err != nil {
+						se.Abort() // recycle frames buffered in the reorder window
 						return err
 					}
 					frames[i] = nil // ownership moves to the encoder
 					if err := se.Push(f); err != nil {
 						pool.Put(f)
+						se.Abort()
 						return err
 					}
 				}

@@ -21,6 +21,28 @@ type Metrics struct {
 	Preemptions atomic.Uint64
 	BytesIn     atomic.Uint64
 	BytesOut    atomic.Uint64
+
+	// Fused-transcode pipeline instrumentation. XcodePeakFrames is the
+	// high-water mark of frames simultaneously in flight inside any
+	// single transcode job — the observable form of the bounded-memory
+	// claim (O(GOP M + reconstruction window), not O(frames)). The stall
+	// counters record which side of the decoder→encoder handoff blocked:
+	// push stalls mean the encoder was the bottleneck, pull stalls the
+	// decoder.
+	XcodePeakFrames atomic.Int64
+	XcodePushStalls atomic.Uint64
+	XcodePullStalls atomic.Uint64
+}
+
+// recordXcodePeak folds one job's peak in-flight frame count into the
+// global high-water mark.
+func (m *Metrics) recordXcodePeak(peak int64) {
+	for {
+		cur := m.XcodePeakFrames.Load()
+		if peak <= cur || m.XcodePeakFrames.CompareAndSwap(cur, peak) {
+			return
+		}
+	}
 }
 
 // NewMetrics returns a zeroed registry stamped with the start time.
@@ -69,6 +91,11 @@ type Snapshot struct {
 	Tenants     []TenantSnapshot `json:"tenants"`
 	PooledFrame int              `json:"frame_pool_retained"`
 	Cache       *CacheSnapshot   `json:"cache,omitempty"`
+
+	// Fused-transcode pipeline gauges/counters (see Metrics).
+	XcodePeakFrames int64  `json:"transcode_inflight_frames_peak"`
+	XcodePushStalls uint64 `json:"transcode_push_stalls_total"`
+	XcodePullStalls uint64 `json:"transcode_pull_stalls_total"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -130,6 +157,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained in
 	p("# HELP eclipse_serve_frame_pool_retained Frames held by the shared cross-request pool.\n")
 	p("# TYPE eclipse_serve_frame_pool_retained gauge\n")
 	p("eclipse_serve_frame_pool_retained %d\n", poolRetained)
+
+	p("# HELP eclipse_serve_transcode_inflight_frames Peak frames simultaneously in flight inside a single fused transcode job.\n")
+	p("# TYPE eclipse_serve_transcode_inflight_frames gauge\n")
+	p("eclipse_serve_transcode_inflight_frames %d\n", m.XcodePeakFrames.Load())
+	p("# HELP eclipse_serve_transcode_stalls_total Fused-pipeline handoff stalls by side (push = decoder waited on encoder, pull = encoder waited on decoder).\n")
+	p("# TYPE eclipse_serve_transcode_stalls_total counter\n")
+	p("eclipse_serve_transcode_stalls_total{side=\"push\"} %d\n", m.XcodePushStalls.Load())
+	p("eclipse_serve_transcode_stalls_total{side=\"pull\"} %d\n", m.XcodePullStalls.Load())
 
 	tenants := sched.SnapshotTenants()
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })

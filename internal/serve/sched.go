@@ -34,6 +34,11 @@ type Config struct {
 	// the pipeline-parallel decoder overlaps entropy parse with per-row
 	// reconstruction on that many workers. Default 1.
 	DecodeWorkers int
+	// EncodeWorkers bounds each encode/transcode job's per-frame
+	// analysis fan-out (macroblock rows processed concurrently). 0 keeps
+	// the media.EncodeWorkers process default (NumCPU); lower it to trade
+	// single-job encode latency for cross-job isolation.
+	EncodeWorkers int
 	// CacheBytes is the result cache's total byte budget. 0 selects the
 	// default (256 MiB); negative disables the cache entirely.
 	CacheBytes int64
@@ -211,6 +216,11 @@ func (s *Scheduler) DecodeWorkersFor(name string) int {
 	}
 	return s.cfg.DecodeWorkers
 }
+
+// EncodeWorkers reports the server-wide per-job encode analysis
+// fan-out (0 = the media.EncodeWorkers process default). Handlers pass
+// it into encode and transcode jobs.
+func (s *Scheduler) EncodeWorkers() int { return s.cfg.EncodeWorkers }
 
 // CacheEnabledFor reports whether the result cache applies to a
 // tenant's requests: the server-wide setting (CacheBytes > 0) unless

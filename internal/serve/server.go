@@ -158,7 +158,10 @@ func (s *Server) writeResult(w http.ResponseWriter, res Result) {
 	s.met.BytesOut.Add(uint64(n))
 }
 
-// submitAndWait is the uncached tail of a media endpoint.
+// submitAndWait is the uncached tail of a media endpoint. It is the
+// sole owner of the result body here (no cache copy, no singleflight
+// sharing), so decode bodies go back to the response-buffer pool after
+// the write — the cached tail must never do this, see bufpool.go.
 func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx context.Context, j *Job) {
 	res, err := s.runJob(ctx, j)
 	if err != nil {
@@ -168,6 +171,9 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, ctx conte
 	w.Header().Set("X-Cache", CacheBypass.String())
 	w.Header().Set("X-Job-Preempts", strconv.Itoa(j.Preempts()))
 	s.writeResult(w, res)
+	if j.Kind == KindDecode {
+		putRespBuf(res.Body)
+	}
 }
 
 // serveCached is the cached tail: revalidate against the content
@@ -310,7 +316,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
-	j, err := NewEncodeJob(ctx, tenant, cfg, body, s.pool)
+	j, err := NewEncodeJob(ctx, tenant, cfg, body, s.pool, s.sched.EncodeWorkers())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -343,7 +349,7 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
-	j, err := NewTranscodeJob(ctx, tenant, body, q, s.pool, s.sched.DecodeWorkersFor(tenant))
+	j, err := NewTranscodeJob(ctx, tenant, body, q, s.pool, s.sched.DecodeWorkersFor(tenant), s.sched.EncodeWorkers(), s.met)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -382,6 +388,10 @@ func (s *Server) varz() Snapshot {
 		Kinds:       s.met.kindSnapshots(),
 		Tenants:     s.sched.SnapshotTenants(),
 		PooledFrame: s.pool.Retained(),
+
+		XcodePeakFrames: s.met.XcodePeakFrames.Load(),
+		XcodePushStalls: s.met.XcodePushStalls.Load(),
+		XcodePullStalls: s.met.XcodePullStalls.Load(),
 	}
 }
 
