@@ -16,6 +16,10 @@
 #                    benchmarks, so CI catches harness breakage cheaply
 #   make bench-transcode  fused vs two-phase transcode benchmark with
 #                         allocation stats and the peak-in-flight gauge
+#   make bench-gop   GOP-parallel transcode: segments 1 vs min(NumCPU, 8)
+#                    on the same closed-GOP clip; updates the
+#                    transcode_seg_* fields of BENCH_kernel.json
+#                    (multi-core numbers; ~1x expected on one CPU)
 #   make bench   paper-experiment benchmarks with allocation stats
 #   make bench-media  media kernel microbenchmarks (bit I/O, VLC, SAD,
 #                     DCT, full encode) with allocation stats
@@ -32,7 +36,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media bench-transcode perf bench-baseline benchcmp
+.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media bench-transcode bench-gop perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -55,6 +59,7 @@ race:
 	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
 	$(GO) test -race -run 'Encode|Golden|ParallelParity|DecodeOptions|DisplayFramesInto|Streaming|StreamSink' ./internal/media
+	GOMAXPROCS=4 $(GO) test -race -run 'Segment' ./internal/media ./internal/serve
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBitReaderRoundTrip -fuzztime=5s ./internal/media
@@ -62,12 +67,18 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeParallelParity -fuzztime=5s ./internal/media
 	$(GO) test -run=NONE -fuzz=FuzzCacheKeyCanonical -fuzztime=5s ./internal/serve
 	$(GO) test -run=NONE -fuzz=FuzzTranscodeFusedParity -fuzztime=5s ./internal/serve
+	$(GO) test -run=NONE -fuzz=FuzzTranscodeSegmentedParity -fuzztime=5s ./internal/serve
 
 # bench-smoke compiles and runs every decode/encode/shell benchmark for
 # exactly one iteration — a CI-friendly guard that the benchmark
 # harnesses themselves stay green without paying for real measurement.
+# The first invocation also re-asserts the pinned golden hashes
+# (bitstream + reconstruction + simcycles) and the sim kernel's
+# allocs-per-op guard in the same pass, so a perf-motivated change
+# cannot drift the outputs or the engine's steady-state allocation
+# profile without this target going red.
 bench-smoke:
-	$(GO) test -run=NONE -bench='Decode|Fig10' -benchtime=1x ./internal/media .
+	$(GO) test -run='Golden|StressAllocs' -bench='Decode|Fig10' -benchtime=1x ./internal/media ./internal/sim .
 	$(GO) test -run=NONE -bench='Encode' -benchtime=1x ./internal/media
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/shell
 
@@ -80,11 +91,21 @@ bench-media:
 bench-transcode:
 	$(GO) test -run=NONE -bench=BenchmarkTranscode -benchmem ./internal/serve
 
+# bench-gop compares the segment-parallel transcode engine (K =
+# min(NumCPU, 8) closed-GOP segments) against the fused serial pipeline
+# on the same clip and records the transcode_seg_* trajectory fields.
+# CAVEAT: the speedup is a multi-core number — on a single-CPU host the
+# segmented path is the same serial work plus an indexing pass, so
+# expect ~1x there (the entry records transcode_seg_num_cpu).
+bench-gop:
+	$(GO) run ./cmd/eclipse-bench gop
+
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel
 	$(GO) run ./cmd/eclipse-bench shell
 	$(GO) run ./cmd/eclipse-bench media
 	$(GO) run ./cmd/eclipse-bench loadgen
+	$(GO) run ./cmd/eclipse-bench gop
 
 bench-baseline:
 	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)

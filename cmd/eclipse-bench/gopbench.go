@@ -1,0 +1,172 @@
+package main
+
+// GOP-parallel transcode benchmark: `eclipse-bench gop [entry-id [path]]`
+// measures the segment-parallel transcode engine against the fused
+// serial pipeline on the same closed-GOP clip and records the
+// transcode_seg_* fields of BENCH_kernel.json. The same measurement
+// runs as loadgen phase 5, so `loadgen` entries carry it too.
+//
+// Both variants run with decode and encode workers pinned to 1, so the
+// only difference is the segment fan-out: K=1 takes the fused fallback
+// (one serial decode→encode pipeline), K=min(NumCPU, 8) runs K
+// independent pipelines over closed-GOP cuts and stitches the
+// bitstreams. Outputs of both are verified byte-identical to the
+// offline batch transcode before any number is recorded.
+//
+// CAVEAT: the speedup is a multi-core number. On a single-CPU host the
+// segmented path is the same serial work plus a GOP-indexing pass, so
+// expect ~1.0x or slightly below; transcode_seg_num_cpu records the
+// machine so trajectory readers can tell the two regimes apart.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eclipse/internal/media"
+	"eclipse/internal/serve"
+)
+
+// gopClip encodes the benchmark clip: N=13, M=3 makes every GOP
+// boundary a closed cut ((N-1)%M == 0), so a K-way split is available.
+func gopClip(w, h, frames, q int, seed int64) []byte {
+	src := media.DefaultSource(w, h)
+	src.Seed = seed
+	fr := media.NewSource(src).Frames(frames)
+	cfg := media.DefaultCodec(w, h)
+	cfg.Q = q
+	cfg.GOPN = 13
+	cfg.GOPM = 3
+	stream, _, _, err := media.Encode(cfg, fr)
+	if err != nil {
+		fail(err)
+	}
+	return stream
+}
+
+// measureGopParallel fills the transcode_seg_* fields and prints the
+// comparison. Shared by the `gop` subcommand and loadgen phase 5.
+func measureGopParallel(e *kernelBenchEntry) {
+	const (
+		clipFrames = 52 // four closed GOPs of 13
+		xcodeQ     = 9
+		warmup     = 1
+		iters      = 5
+	)
+	segments := runtime.NumCPU()
+	if segments > 8 {
+		segments = 8
+	}
+	if segments < 2 {
+		segments = 2 // still exercises the segmented path on 1 CPU
+	}
+	clip := gopClip(176, 144, clipFrames, 6, 5)
+	ref, err := media.Decode(clip)
+	if err != nil {
+		fail(err)
+	}
+	want, _, _, err := media.Encode(serve.TranscodeConfig(ref.Seq, xcodeQ), ref.DisplayFrames())
+	if err != nil {
+		fail(err)
+	}
+
+	sched := serve.NewScheduler(serve.Config{Workers: 1, BaseSlice: time.Minute, QueueCap: 64}, serve.NewMetrics())
+	defer sched.Drain(context.Background())
+	met := serve.NewMetrics()
+	runOnce := func(segs int) time.Duration {
+		pool := media.NewSyncFramePool(128)
+		j, err := serve.NewTranscodeJobSegmented(context.Background(), "bench", clip, xcodeQ,
+			pool, 1, 1, segs, met)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		if err := sched.Submit(j); err != nil {
+			fail(err)
+		}
+		<-j.Done()
+		wall := time.Since(start)
+		res, err := j.Result()
+		if err != nil {
+			fail(err)
+		}
+		if !bytes.Equal(res.Body, want) {
+			fail(fmt.Errorf("gop: k=%d output differs from the offline transcode (%d vs %d bytes)",
+				segs, len(res.Body), len(want)))
+		}
+		if n := pool.Outstanding(); n != 0 {
+			fail(fmt.Errorf("gop: k=%d leaked %d pooled frames", segs, n))
+		}
+		return wall
+	}
+	bench := func(segs int) float64 {
+		for i := 0; i < warmup; i++ {
+			runOnce(segs)
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < iters; i++ {
+			if w := runOnce(segs); w < best {
+				best = w
+			}
+		}
+		return float64(best) / 1e6
+	}
+
+	serialMs := bench(1)
+	segMs := bench(segments)
+
+	e.XcodeSegMsPerOp = segMs
+	e.XcodeSeg1MsPerOp = serialMs
+	e.XcodeSegSpeedup = serialMs / segMs
+	e.XcodeSegSegments = segments
+	e.XcodeSegClipFrames = clipFrames
+	e.XcodeSegPeakFrames = met.XcodePeakFrames.Load()
+	e.XcodeSegSkewMs = float64(met.XcodeSegSkewNs.Load()) / 1e6
+	e.XcodeSegNumCPU = runtime.NumCPU()
+
+	fmt.Printf("  gop:     k=1 %.2f ms/op  vs  k=%d %.2f ms/op  (%.2fx, %d CPUs)\n",
+		serialMs, segments, segMs, e.XcodeSegSpeedup, e.XcodeSegNumCPU)
+	fmt.Printf("           %d-frame clip, peak %d frames in flight, segment skew %.2f ms\n",
+		clipFrames, e.XcodeSegPeakFrames, e.XcodeSegSkewMs)
+	if e.XcodeSegNumCPU < 2 {
+		fmt.Printf("           CAVEAT: single-CPU host — segmented == serial work + indexing, speedup not meaningful\n")
+	} else if e.XcodeSegNumCPU >= 4 && e.XcodeSegSpeedup < 1.0 {
+		fail(fmt.Errorf("gop: k=%d slower than k=1 on a %d-CPU host (%.2fx)",
+			segments, e.XcodeSegNumCPU, e.XcodeSegSpeedup))
+	}
+}
+
+// gopBench runs the GOP-parallel measurement standalone and updates the
+// trajectory file.
+func gopBench() {
+	id := "head-" + time.Now().Format("2006-01-02")
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("GOP-parallel transcode (segments 1 vs K) -> " + path)
+
+	var entry kernelBenchEntry
+	measureGopParallel(&entry)
+
+	doc := loadKernelBench(path)
+	e := benchEntry(&doc, id)
+	// Merge: only the transcode_seg_* fields belong to this subcommand.
+	e.Date = time.Now().Format("2006-01-02")
+	e.XcodeSegMsPerOp = entry.XcodeSegMsPerOp
+	e.XcodeSeg1MsPerOp = entry.XcodeSeg1MsPerOp
+	e.XcodeSegSpeedup = entry.XcodeSegSpeedup
+	e.XcodeSegSegments = entry.XcodeSegSegments
+	e.XcodeSegClipFrames = entry.XcodeSegClipFrames
+	e.XcodeSegPeakFrames = entry.XcodeSegPeakFrames
+	e.XcodeSegSkewMs = entry.XcodeSegSkewMs
+	e.XcodeSegNumCPU = entry.XcodeSegNumCPU
+	saveKernelBench(path, &doc)
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
+}

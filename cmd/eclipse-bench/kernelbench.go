@@ -106,6 +106,23 @@ type kernelBenchEntry struct {
 	XcodeTwoPhaseMsPerOp float64 `json:"transcode_two_phase_ms_per_op,omitempty"`
 	XcodePushStalls      uint64  `json:"transcode_push_stalls,omitempty"`
 	XcodePullStalls      uint64  `json:"transcode_pull_stalls,omitempty"`
+
+	// GOP-parallel segmented transcode (`eclipse-bench gop`, also run as
+	// loadgen phase 5): per-op wall time of the same closed-GOP clip at
+	// segment fan-out 1 (the fused pipeline, the serial baseline) vs K
+	// segments, with decode/encode workers pinned to 1 on both sides so
+	// segmentation is the only variable. The speedup is only meaningful
+	// on multi-core hosts — transcode_seg_num_cpu records the machine;
+	// on a single CPU the segmented path degenerates to serial work plus
+	// indexing overhead.
+	XcodeSegMsPerOp    float64 `json:"transcode_seg_ms_per_op,omitempty"`
+	XcodeSeg1MsPerOp   float64 `json:"transcode_seg1_ms_per_op,omitempty"`
+	XcodeSegSpeedup    float64 `json:"transcode_seg_speedup,omitempty"`
+	XcodeSegSegments   int     `json:"transcode_seg_segments,omitempty"`
+	XcodeSegClipFrames int     `json:"transcode_seg_clip_frames,omitempty"`
+	XcodeSegPeakFrames int64   `json:"transcode_seg_peak_frames,omitempty"`
+	XcodeSegSkewMs     float64 `json:"transcode_seg_skew_ms,omitempty"`
+	XcodeSegNumCPU     int     `json:"transcode_seg_num_cpu,omitempty"`
 }
 
 // kernelBenchFile is the on-disk BENCH_kernel.json document.

@@ -18,7 +18,11 @@ package main
 //     gauge (the bounded-memory claim), the handoff stall split, and —
 //     via testing.Benchmark over the job objects directly — the per-op
 //     wall time and heap traffic of the fused job against the retained
-//     two-phase baseline on the same clip.
+//     two-phase baseline on the same clip;
+//  5. the GOP-parallel comparison (see gopbench.go): the same
+//     closed-GOP clip transcoded at segment fan-out 1 vs min(NumCPU, 8),
+//     outputs verified byte-identical, per-op wall times and the
+//     speedup recorded in the transcode_seg_* fields.
 //
 // The serve_* and transcode_* fields of the perf trajectory (including
 // the cache hit/miss latency split) are recorded in BENCH_kernel.json,
@@ -373,6 +377,10 @@ func loadgenBench() {
 		fail(err)
 	}
 
+	// ---- Phase 5: GOP-parallel transcode, segments 1 vs K ----
+	var segEntry kernelBenchEntry
+	measureGopParallel(&segEntry)
+
 	entryDate := time.Now().Format("2006-01-02")
 	doc := loadKernelBench(path)
 	e := benchEntry(&doc, id)
@@ -408,6 +416,14 @@ func loadgenBench() {
 	e.XcodeTwoPhaseMsPerOp = twoPhaseRes.msPerOp
 	e.XcodePushStalls = xPush
 	e.XcodePullStalls = xPull
+	e.XcodeSegMsPerOp = segEntry.XcodeSegMsPerOp
+	e.XcodeSeg1MsPerOp = segEntry.XcodeSeg1MsPerOp
+	e.XcodeSegSpeedup = segEntry.XcodeSegSpeedup
+	e.XcodeSegSegments = segEntry.XcodeSegSegments
+	e.XcodeSegClipFrames = segEntry.XcodeSegClipFrames
+	e.XcodeSegPeakFrames = segEntry.XcodeSegPeakFrames
+	e.XcodeSegSkewMs = segEntry.XcodeSegSkewMs
+	e.XcodeSegNumCPU = segEntry.XcodeSegNumCPU
 	saveKernelBench(path, &doc)
 
 	fmt.Printf("  load:    %d requests over %.2fs  (%.1f rps target, %.1f rps served; zipf s=%.1f over %d streams)\n",

@@ -18,6 +18,7 @@
 //	shell       shell-transport wall-clock speed; updates BENCH_kernel.json
 //	media       codec-kernel wall-clock speed; updates BENCH_kernel.json
 //	loadgen     serving-path load generation; updates BENCH_kernel.json
+//	gop         GOP-parallel transcode, segments 1 vs K; updates BENCH_kernel.json
 //	all         everything above except the BENCH_kernel.json writers
 package main
 
@@ -56,6 +57,7 @@ func main() {
 		"shell":      shellBench,
 		"media":      mediaBench,
 		"loadgen":    loadgenBench,
+		"gop":        gopBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

@@ -44,15 +44,15 @@ import (
 )
 
 // tenantFlags collects repeated -tenant
-// name:weight[:queuecap[:decodeworkers[:cache]]] flags.
+// name:weight[:queuecap[:decodeworkers[:cache[:segments]]]] flags.
 type tenantFlags []serve.TenantConfig
 
 func (t *tenantFlags) String() string { return fmt.Sprintf("%v", []serve.TenantConfig(*t)) }
 
 func (t *tenantFlags) Set(v string) error {
 	parts := strings.Split(v, ":")
-	if len(parts) < 2 || len(parts) > 5 {
-		return fmt.Errorf("want name:weight[:queuecap[:decodeworkers[:cache]]], got %q", v)
+	if len(parts) < 2 || len(parts) > 6 {
+		return fmt.Errorf("want name:weight[:queuecap[:decodeworkers[:cache[:segments]]]], got %q", v)
 	}
 	tc := serve.TenantConfig{Name: parts[0]}
 	w, err := strconv.Atoi(parts[1])
@@ -74,7 +74,7 @@ func (t *tenantFlags) Set(v string) error {
 		}
 		tc.DecodeWorkers = dw
 	}
-	if len(parts) == 5 {
+	if len(parts) >= 5 {
 		switch parts[4] {
 		case "on", "1":
 			tc.Cache = serve.CacheOn
@@ -83,6 +83,13 @@ func (t *tenantFlags) Set(v string) error {
 		default:
 			return fmt.Errorf("bad cache mode %q in %q (want on/off)", parts[4], v)
 		}
+	}
+	if len(parts) == 6 {
+		xs, err := strconv.Atoi(parts[5])
+		if err != nil || xs < 1 {
+			return fmt.Errorf("bad transcode segments in %q", v)
+		}
+		tc.TranscodeSegments = xs
 	}
 	*t = append(*t, tc)
 	return nil
@@ -99,10 +106,11 @@ func main() {
 		decodeW  = flag.Int("decode-workers", 1, "default per-tenant decode worker count (1 = six-task KPN pipeline, >1 = pipeline-parallel decoder)")
 		encodeW  = flag.Int("encode-workers", 0, "per-job encode analysis fan-out (0 = NumCPU)")
 		cacheB   = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (0 disables)")
+		xcodeSeg = flag.Int("transcode-segments", 0, "segment fan-out for transcode jobs over closed-GOP cuts (1 = fused single pipeline, 0 = min(NumCPU, 8))")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		tenants  tenantFlags
 	)
-	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap[:decodeworkers[:cache]]] (repeatable; cache = on/off)")
+	flag.Var(&tenants, "tenant", "declare a tenant as name:weight[:queuecap[:decodeworkers[:cache[:segments]]]] (repeatable; cache = on/off)")
 	flag.Parse()
 
 	cacheBytes := *cacheB
@@ -110,15 +118,16 @@ func main() {
 		cacheBytes = -1 // Config treats 0 as "use the default"; the flag's 0 means off
 	}
 	srv := serve.New(serve.Config{
-		Workers:       *workers,
-		BaseSlice:     *slice,
-		QueueCap:      *queueCap,
-		MaxBodyBytes:  *maxBody,
-		FramePoolCap:  *poolCap,
-		DecodeWorkers: *decodeW,
-		EncodeWorkers: *encodeW,
-		CacheBytes:    cacheBytes,
-		Tenants:       tenants,
+		Workers:           *workers,
+		BaseSlice:         *slice,
+		QueueCap:          *queueCap,
+		MaxBodyBytes:      *maxBody,
+		FramePoolCap:      *poolCap,
+		DecodeWorkers:     *decodeW,
+		EncodeWorkers:     *encodeW,
+		CacheBytes:        cacheBytes,
+		TranscodeSegments: *xcodeSeg,
+		Tenants:           tenants,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

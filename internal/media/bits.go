@@ -86,6 +86,23 @@ func (w *BitWriter) WriteSE(v int32) {
 	}
 }
 
+// AppendBits appends every bit written to src so far — its flushed bytes
+// plus its unaligned pending tail — onto w, preserving bit positions
+// exactly. src is left unchanged, so it can be appended again or written
+// to further. This is the bitstream stitcher's primitive: segment
+// encoders write headerless, unaligned bit runs, and AppendBits splices
+// them at arbitrary bit offsets so the concatenation is bit-identical to
+// a single-writer encode.
+func (w *BitWriter) AppendBits(src *BitWriter) {
+	for _, b := range src.buf {
+		w.WriteBits(uint32(b), 8)
+	}
+	// Invariant nacc < 32, so the pending tail fits one WriteBits call.
+	if src.nacc > 0 {
+		w.WriteBits(uint32(src.acc&(1<<src.nacc-1)), src.nacc)
+	}
+}
+
 // Align pads with zero bits to the next byte boundary and drains the
 // accumulator so buf holds every complete byte written so far.
 func (w *BitWriter) Align() {

@@ -105,21 +105,31 @@ func Encode(cfg CodecConfig, frames []*Frame) ([]byte, []*Frame, *EncodeStats, e
 	return e.w.Bytes(), recon, &e.stats, nil
 }
 
+// seqHeaderFor derives the sequence header an encode of `frames` frames
+// under cfg writes; shared so the segment stitcher reproduces it
+// bit-exactly.
+func seqHeaderFor(cfg CodecConfig, frames int) SeqHeader {
+	return SeqHeader{
+		MBCols: cfg.W / MBSize, MBRows: cfg.H / MBSize,
+		Q: cfg.Q, GOPN: cfg.GOPN, GOPM: cfg.GOPM, Frames: frames,
+		HalfPel: cfg.HalfPel,
+	}
+}
+
 // newEncoder builds an Encoder for a declared frame count and writes the
 // sequence header. Shared by the batch Encode and the push-based
 // StreamEncoder so both produce bit-identical streams.
 func newEncoder(cfg CodecConfig, frames int) *Encoder {
-	e := &Encoder{
-		cfg: cfg,
-		seq: SeqHeader{
-			MBCols: cfg.W / MBSize, MBRows: cfg.H / MBSize,
-			Q: cfg.Q, GOPN: cfg.GOPN, GOPM: cfg.GOPM, Frames: frames,
-			HalfPel: cfg.HalfPel,
-		},
-		w: NewBitWriter(),
-	}
+	e := newEncoderRaw(cfg, frames)
 	WriteSeqHeader(e.w, &e.seq)
 	return e
+}
+
+// newEncoderRaw builds an Encoder without writing the sequence header:
+// the segment-parallel transcoder's per-segment writers stay headerless
+// so StitchSegments can splice them under one header.
+func newEncoderRaw(cfg CodecConfig, frames int) *Encoder {
+	return &Encoder{cfg: cfg, seq: seqHeaderFor(cfg, frames), w: NewBitWriter()}
 }
 
 // encodeFrame codes one frame and returns its reconstruction, updating

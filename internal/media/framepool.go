@@ -59,6 +59,13 @@ type SyncFramePool struct {
 	pool FramePool
 	max  int // bound on retained frames; 0 = unbounded
 	out  int // frames handed out via Get and not yet returned via Put
+
+	// resident marks frames currently on the free list. A second Put of
+	// a resident frame would enter it on the free list twice, and two
+	// later Gets would hand the same *Frame to two owners — silent pixel
+	// corruption. The guard makes the duplicate Put a counted no-op.
+	resident   map[*Frame]struct{}
+	doublePuts uint64
 }
 
 // NewSyncFramePool returns a concurrency-safe pool retaining at most
@@ -72,21 +79,44 @@ func (p *SyncFramePool) Get(w, h int) *Frame {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.out++
-	return p.pool.Get(w, h)
+	f := p.pool.Get(w, h)
+	delete(p.resident, f)
+	return f
 }
 
 // Put returns a frame (or nil, a no-op) to the pool, dropping it when
-// the retention bound is reached.
+// the retention bound is reached. Putting a frame that is already
+// resident is a broken-ownership bug in the caller; instead of
+// corrupting the free list (the same frame handed to two future Gets)
+// the duplicate is dropped and counted — see DoublePuts.
 func (p *SyncFramePool) Put(f *Frame) {
 	if f == nil {
 		return
 	}
 	p.mu.Lock()
+	if _, dup := p.resident[f]; dup {
+		p.doublePuts++
+		p.mu.Unlock()
+		return
+	}
 	p.out--
 	if p.max == 0 || len(p.pool.free) < p.max {
 		p.pool.Put(f)
+		if p.resident == nil {
+			p.resident = make(map[*Frame]struct{})
+		}
+		p.resident[f] = struct{}{}
 	}
 	p.mu.Unlock()
+}
+
+// DoublePuts reports how many Put calls were rejected because the frame
+// was already on the free list. Nonzero means a caller released a frame
+// it no longer owned; tests assert it stays zero.
+func (p *SyncFramePool) DoublePuts() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.doublePuts
 }
 
 // PutAll recycles a batch of frames, ignoring nils.

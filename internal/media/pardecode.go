@@ -309,6 +309,16 @@ func decodeParallel(stream []byte, opts *DecodeOptions, workers int) (*DecodeRes
 	if err != nil {
 		return nil, err
 	}
+	return decodeParallelSpan(r, seq, 0, seq.Frames, opts, workers)
+}
+
+// decodeParallelSpan runs the pipelined decoder over coded frames
+// [lo, hi) with r positioned at frame lo's header. Whole-stream decodes
+// pass [0, Frames); segment decodes pass a closed sub-range, within
+// which the reference chain is self-contained (the range starts with an
+// I frame and no frame references outside it — IndexGOPs' closed-cut
+// guarantee), so the loop body is identical.
+func decodeParallelSpan(r *BitReader, seq SeqHeader, lo, hi int, opts *DecodeOptions, workers int) (*DecodeResult, error) {
 	newFrame := opts.NewFrame
 	if newFrame == nil {
 		newFrame = NewFrame
@@ -351,13 +361,13 @@ func decodeParallel(stream []byte, opts *DecodeOptions, workers int) (*DecodeRes
 	streaming := opts.OnDisplayFrame != nil
 	var sink *streamSink
 	if streaming {
-		sink = newStreamSink(opts, seq.Frames, seq.GOPM+2)
+		sink = newStreamSink(opts, lo, hi, seq.GOPM+2)
 		sink.join.Add(1)
 		go sink.run()
 	}
 
 parse:
-	for fi := 0; fi < seq.Frames; fi++ {
+	for fi := lo; fi < hi; fi++ {
 		if streaming {
 			if err := sink.waitWindow(fi); err != nil {
 				parseErr = err
@@ -503,6 +513,12 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeSerialSpan(r, seq, 0, seq.Frames, opts)
+}
+
+// decodeSerialSpan is the serial loop over coded frames [lo, hi); see
+// decodeParallelSpan for the span contract.
+func decodeSerialSpan(r *BitReader, seq SeqHeader, lo, hi int, opts *DecodeOptions) (*DecodeResult, error) {
 	newFrame := opts.NewFrame
 	if newFrame == nil {
 		newFrame = NewFrame
@@ -515,7 +531,7 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 	streaming := opts.OnDisplayFrame != nil
 	var sink *streamSink
 	if streaming {
-		sink = newStreamSink(opts, seq.Frames, 0)
+		sink = newStreamSink(opts, lo, hi, 0)
 	}
 	fail := func(err error) (*DecodeResult, error) {
 		if streaming {
@@ -529,7 +545,7 @@ func decodeSerial(stream []byte, opts *DecodeOptions) (*DecodeResult, error) {
 	}
 	var refs RefChain
 	var refDi [2]int // display indices shadowing refs.A, refs.B
-	for fi := 0; fi < seq.Frames; fi++ {
+	for fi := lo; fi < hi; fi++ {
 		if opts.OnFrame != nil {
 			if err := opts.OnFrame(fi); err != nil {
 				return fail(err)

@@ -51,22 +51,25 @@ func (s *streamSlot) retirable() bool {
 }
 
 // streamSink coordinates display-order delivery for streaming decodes.
+// It covers the display range [lo, hi): whole-stream decodes use
+// [0, Frames), segment decodes a closed sub-range — display indices stay
+// global throughout, only slot storage is rebased.
 type streamSink struct {
 	opts   *DecodeOptions
-	frames int
+	lo, hi int // display range [lo, hi)
 	window int // parser lookahead over delivery, in coded frames (0 = unbounded)
 
 	mu   sync.Mutex
 	cond sync.Cond
-	slot []streamSlot
-	next int   // next display index to deliver
-	err  error // sticky abort: first callback/parse error
+	slot []streamSlot // indexed by di - lo
+	next int          // next display index to deliver (global)
+	err  error        // sticky abort: first callback/parse error
 	join sync.WaitGroup
 }
 
-func newStreamSink(opts *DecodeOptions, frames, window int) *streamSink {
-	k := &streamSink{opts: opts, frames: frames, window: window,
-		slot: make([]streamSlot, frames)}
+func newStreamSink(opts *DecodeOptions, lo, hi, window int) *streamSink {
+	k := &streamSink{opts: opts, lo: lo, hi: hi, window: window,
+		slot: make([]streamSlot, hi-lo), next: lo}
 	k.cond.L = &k.mu
 	return k
 }
@@ -80,10 +83,10 @@ func newStreamSink(opts *DecodeOptions, frames, window int) *streamSink {
 func (k *streamSink) frameParsed(di int, f *Frame, isRef bool) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if di < 0 || di >= k.frames {
-		return fmt.Errorf("%w: display index %d out of range [0,%d)", ErrBitstream, di, k.frames)
+	if di < k.lo || di >= k.hi {
+		return fmt.Errorf("%w: display index %d out of range [%d,%d)", ErrBitstream, di, k.lo, k.hi)
 	}
-	s := &k.slot[di]
+	s := &k.slot[di-k.lo]
 	if s.present {
 		return fmt.Errorf("%w: duplicate display index %d", ErrBitstream, di)
 	}
@@ -102,7 +105,7 @@ func (k *streamSink) frameParsed(di int, f *Frame, isRef bool) error {
 // evicts it), so a slot with chainDone set can never gain new readers.
 func (k *streamSink) addReader(di int) {
 	k.mu.Lock()
-	k.slot[di].readers++
+	k.slot[di-k.lo].readers++
 	k.mu.Unlock()
 }
 
@@ -113,12 +116,12 @@ func (k *streamSink) addReader(di int) {
 func (k *streamSink) frameComplete(di, fwdDi, bwdDi int) {
 	var retire []*Frame
 	k.mu.Lock()
-	k.slot[di].complete = true
+	k.slot[di-k.lo].complete = true
 	for _, rdi := range [2]int{fwdDi, bwdDi} {
 		if rdi < 0 {
 			continue
 		}
-		s := &k.slot[rdi]
+		s := &k.slot[rdi-k.lo]
 		s.readers--
 		if s.retirable() {
 			s.released = true
@@ -140,7 +143,7 @@ func (k *streamSink) frameComplete(di, fwdDi, bwdDi int) {
 // delivery side or the last reader's frameComplete fires it.
 func (k *streamSink) chainDrop(di int) {
 	k.mu.Lock()
-	s := &k.slot[di]
+	s := &k.slot[di-k.lo]
 	s.chainDone = true
 	retire := s.retirable()
 	if retire {
@@ -157,7 +160,7 @@ func (k *streamSink) chainDrop(di int) {
 // whether the decoder's interest has also ended (→ caller fires Retire).
 func (k *streamSink) markDelivered(di int) (f *Frame, retire bool) {
 	k.mu.Lock()
-	s := &k.slot[di]
+	s := &k.slot[di-k.lo]
 	s.delivered = true
 	k.next = di + 1
 	retire = s.retirable()
@@ -201,7 +204,7 @@ func (k *streamSink) waitWindow(fi int) error {
 func (k *streamSink) waitDelivered() error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	for k.err == nil && k.next < k.frames {
+	for k.err == nil && k.next < k.hi {
 		k.cond.Wait()
 	}
 	return k.err
@@ -215,16 +218,16 @@ func (k *streamSink) run() {
 	defer k.join.Done()
 	for {
 		k.mu.Lock()
-		for k.err == nil && k.next < k.frames &&
-			!(k.slot[k.next].present && k.slot[k.next].complete) {
+		for k.err == nil && k.next < k.hi &&
+			!(k.slot[k.next-k.lo].present && k.slot[k.next-k.lo].complete) {
 			k.cond.Wait()
 		}
-		if k.err != nil || k.next >= k.frames {
+		if k.err != nil || k.next >= k.hi {
 			k.mu.Unlock()
 			return
 		}
 		di := k.next
-		f := k.slot[di].f
+		f := k.slot[di-k.lo].f
 		k.mu.Unlock()
 		if err := k.opts.OnDisplayFrame(di, f); err != nil {
 			k.fail(err)
@@ -246,12 +249,12 @@ func (k *streamSink) deliverInline() error {
 			k.mu.Unlock()
 			return err
 		}
-		if k.next >= k.frames || !k.slot[k.next].present || !k.slot[k.next].complete {
+		if k.next >= k.hi || !k.slot[k.next-k.lo].present || !k.slot[k.next-k.lo].complete {
 			k.mu.Unlock()
 			return nil
 		}
 		di := k.next
-		f := k.slot[di].f
+		f := k.slot[di-k.lo].f
 		k.mu.Unlock()
 		if err := k.opts.OnDisplayFrame(di, f); err != nil {
 			k.fail(err)

@@ -171,13 +171,104 @@ func TestStreamingDecodeCallbackError(t *testing.T) {
 	}
 }
 
+// TestStreamingDecodeWindowEdges exercises the parser-window boundary
+// shapes: a single-GOP clip (the whole stream is one window span), a
+// GOPM=1 clip (no B frames, so the reorder window never holds more than
+// one frame), and a one-frame clip. Every engine (serial and 1..4
+// parallel workers) must deliver batch-identical pixels with symmetric
+// pool traffic.
+func TestStreamingDecodeWindowEdges(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		frames, gopn, gopm int
+	}{
+		{"single-gop", 7, 255, 3},
+		{"gopm-1", 9, 6, 1},
+		{"single-frame", 1, 12, 3},
+		{"gop-equals-clip", 8, 8, 2},
+	} {
+		stream, _ := streamTestClip(t, 64, 48, tc.frames, tc.gopn, tc.gopm, false)
+		ref, err := Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.DisplayFrames()
+		for workers := 1; workers <= 4; workers++ {
+			t.Run(fmt.Sprintf("%s-w%d", tc.name, workers), func(t *testing.T) {
+				pool := NewSyncFramePool(64)
+				delivered := 0
+				_, err := DecodeWithOptions(stream, DecodeOptions{
+					Workers:  workers,
+					NewFrame: pool.Get,
+					Recycle:  pool.Put,
+					OnDisplayFrame: func(di int, f *Frame) error {
+						if di != delivered {
+							return fmt.Errorf("delivered display index %d, want %d", di, delivered)
+						}
+						if !bytes.Equal(f.Pix, want[di].Pix) {
+							return fmt.Errorf("display frame %d pixels differ from batch decode", di)
+						}
+						delivered++
+						return nil
+					},
+					Retire: pool.Put,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if delivered != tc.frames {
+					t.Errorf("delivered %d frames, want %d", delivered, tc.frames)
+				}
+				if n := pool.Outstanding(); n != 0 {
+					t.Errorf("pool leak: %d frames outstanding", n)
+				}
+				if n := pool.DoublePuts(); n != 0 {
+					t.Errorf("%d double Puts: frame handed back twice", n)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingDecodeTruncatedLastGOP cuts the bitstream inside its
+// final GOP at a spread of depths: every engine must fail with
+// ErrBitstream (not hang at the parser window waiting for frames that
+// never arrive) and hand every pooled frame back.
+func TestStreamingDecodeTruncatedLastGOP(t *testing.T) {
+	stream, _ := streamTestClip(t, 64, 48, 13, 13, 3, false)
+	for _, cut := range []int{1, 3, 7, 20} {
+		bad := stream[:len(stream)-cut]
+		for workers := 1; workers <= 4; workers++ {
+			t.Run(fmt.Sprintf("cut%d-w%d", cut, workers), func(t *testing.T) {
+				pool := NewSyncFramePool(64)
+				_, err := DecodeWithOptions(bad, DecodeOptions{
+					Workers:        workers,
+					NewFrame:       pool.Get,
+					Recycle:        pool.Put,
+					OnDisplayFrame: func(int, *Frame) error { return nil },
+					Retire:         pool.Put,
+				})
+				if !errors.Is(err, ErrBitstream) {
+					t.Fatalf("err = %v, want ErrBitstream", err)
+				}
+				if n := pool.Outstanding(); n != 0 {
+					t.Errorf("pool leak on truncated stream: %d frames outstanding", n)
+				}
+				if n := pool.DoublePuts(); n != 0 {
+					t.Errorf("%d double Puts on unwind", n)
+				}
+			})
+		}
+	}
+}
+
 // TestStreamSinkBadTRef feeds the sink out-of-range and duplicate
 // display indices directly and expects ErrBitstream from both.
 func TestStreamSinkBadTRef(t *testing.T) {
 	mk := func() *streamSink {
 		return newStreamSink(&DecodeOptions{
 			OnDisplayFrame: func(int, *Frame) error { return nil },
-		}, 4, 6)
+		}, 0, 4, 6)
 	}
 	s := mk()
 	if err := s.frameParsed(4, NewFrame(16, 16), true); !errors.Is(err, ErrBitstream) {

@@ -28,14 +28,17 @@ type StreamEncoder struct {
 	Workers int
 
 	enc    *Encoder
-	types  []FrameType // display order
-	order  []int       // coded order (display indices)
+	types  []FrameType // whole-sequence frame types, indexed by display index
+	order  []int       // coded order restricted to this encoder's range (global display indices)
+	lo     int         // first display index this encoder covers
+	count  int         // frames this encoder covers ([lo, lo+count))
 	pushed int         // frames received so far (display order)
 	coded  int         // prefix of order already encoded
-	// Reorder window: pending frames indexed di % len(ring). The display
-	// indices simultaneously buffered span at most GOPM consecutive
-	// values (a run of B frames plus the reference that releases them),
-	// so GOPM+1 slots can never collide; ringDi guards the invariant.
+	// Reorder window: pending frames indexed (di-lo) % len(ring). The
+	// display indices simultaneously buffered span at most GOPM
+	// consecutive values (a run of B frames plus the reference that
+	// releases them), so GOPM+1 slots can never collide; ringDi guards
+	// the invariant.
 	ring   []*Frame
 	ringDi []int // display index occupying each slot; -1 = empty
 	closed bool
@@ -51,21 +54,75 @@ func NewStreamEncoder(cfg CodecConfig, frames int) (*StreamEncoder, error) {
 		return nil, fmt.Errorf("media: frame count %d out of range", frames)
 	}
 	types := GOPTypes(frames, cfg.GOPN, cfg.GOPM)
-	window := cfg.GOPM + 1
-	if window > frames {
-		window = frames
+	e := &StreamEncoder{
+		enc:   newEncoder(cfg, frames),
+		types: types,
+		order: CodedOrder(types),
+		count: frames,
 	}
-	ringDi := make([]int, window)
-	for i := range ringDi {
-		ringDi[i] = -1
+	e.initRing(cfg.GOPM)
+	return e, nil
+}
+
+// NewStreamEncoderSegment prepares a headerless encoder for display
+// frames [lo, hi) of a totalFrames-frame sequence: the segment-parallel
+// transcoder runs one per segment and splices their CloseRaw outputs
+// with StitchSegments. lo and hi must be encode-closed cuts of the
+// whole-sequence GOP structure (EncodeClosedCuts; 0 and totalFrames
+// always qualify) — closure is what makes the global coded order
+// restricted to [lo, hi) contiguous and the segment's reference chain
+// self-contained, so the spliced bits match a single whole-sequence
+// encode exactly. Frame types and TRefs are taken from the *global*
+// structure (including the last-frame B→P promotion), never recomputed
+// per segment.
+func NewStreamEncoderSegment(cfg CodecConfig, totalFrames, lo, hi int) (*StreamEncoder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	return &StreamEncoder{
-		enc:    newEncoder(cfg, frames),
-		types:  types,
-		order:  CodedOrder(types),
-		ring:   make([]*Frame, window),
-		ringDi: ringDi,
-	}, nil
+	if totalFrames <= 0 || totalFrames > 0xFFFF {
+		return nil, fmt.Errorf("media: frame count %d out of range", totalFrames)
+	}
+	if lo < 0 || hi > totalFrames || lo >= hi {
+		return nil, fmt.Errorf("media: segment [%d,%d) out of range [0,%d)", lo, hi, totalFrames)
+	}
+	cuts := EncodeClosedCuts(totalFrames, cfg.GOPN, cfg.GOPM)
+	for _, c := range [2]int{lo, hi} {
+		if c == 0 || c == totalFrames {
+			continue
+		}
+		ok := false
+		for _, v := range cuts {
+			if v == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("media: %d is not an encode-closed cut for N=%d M=%d", c, cfg.GOPN, cfg.GOPM)
+		}
+	}
+	types := GOPTypes(totalFrames, cfg.GOPN, cfg.GOPM)
+	e := &StreamEncoder{
+		enc:   newEncoderRaw(cfg, totalFrames),
+		types: types,
+		order: CodedOrder(types)[lo:hi],
+		lo:    lo,
+		count: hi - lo,
+	}
+	e.initRing(cfg.GOPM)
+	return e, nil
+}
+
+func (e *StreamEncoder) initRing(gopM int) {
+	window := gopM + 1
+	if window > e.count {
+		window = e.count
+	}
+	e.ring = make([]*Frame, window)
+	e.ringDi = make([]int, window)
+	for i := range e.ringDi {
+		e.ringDi[i] = -1
+	}
 }
 
 // Push feeds the next display-order frame. Frames whose references are
@@ -75,24 +132,25 @@ func (e *StreamEncoder) Push(f *Frame) error {
 	if e.closed {
 		return fmt.Errorf("media: push on closed StreamEncoder")
 	}
-	if e.pushed >= len(e.types) {
-		return fmt.Errorf("media: more than the declared %d frames pushed", len(e.types))
+	if e.pushed >= e.count {
+		return fmt.Errorf("media: more than the declared %d frames pushed", e.count)
 	}
 	if f.W != e.enc.cfg.W || f.H != e.enc.cfg.H {
 		return fmt.Errorf("media: frame %d is %dx%d, want %dx%d", e.pushed, f.W, f.H, e.enc.cfg.W, e.enc.cfg.H)
 	}
+	di := e.lo + e.pushed
 	slot := e.pushed % len(e.ring)
 	if e.ringDi[slot] != -1 {
 		return fmt.Errorf("media: internal reorder window overflow at frame %d", e.pushed)
 	}
 	e.ring[slot] = f
-	e.ringDi[slot] = e.pushed
+	e.ringDi[slot] = di
 	e.pushed++
 	e.enc.workers = e.Workers
 	// Encode the coded-order prefix that is now available.
 	for e.coded < len(e.order) {
 		di := e.order[e.coded]
-		s := di % len(e.ring)
+		s := (di - e.lo) % len(e.ring)
 		if e.ringDi[s] != di {
 			break // not pushed yet
 		}
@@ -111,17 +169,54 @@ func (e *StreamEncoder) Push(f *Frame) error {
 // Close finalizes the stream after all declared frames were pushed and
 // returns the bitstream and the per-frame statistics.
 func (e *StreamEncoder) Close() ([]byte, *EncodeStats, error) {
+	w, stats, err := e.CloseRaw()
+	if err != nil {
+		return nil, nil, err
+	}
+	return w.Bytes(), stats, nil
+}
+
+// CloseRaw finalizes like Close but returns the underlying bit writer
+// without byte-aligning it. For segment encoders this is the stitchable
+// artifact: the segment's frames as a headerless, unaligned bit run that
+// StitchSegments splices at exact bit positions. The writer must not be
+// written to further.
+func (e *StreamEncoder) CloseRaw() (*BitWriter, *EncodeStats, error) {
 	if e.closed {
 		return nil, nil, fmt.Errorf("media: StreamEncoder closed twice")
 	}
 	e.closed = true
-	if e.pushed != len(e.types) {
-		return nil, nil, fmt.Errorf("media: closed after %d of %d declared frames", e.pushed, len(e.types))
+	if e.pushed != e.count {
+		return nil, nil, fmt.Errorf("media: closed after %d of %d declared frames", e.pushed, e.count)
 	}
 	if e.coded != len(e.order) {
 		return nil, nil, fmt.Errorf("media: internal reorder stall at coded frame %d", e.coded)
 	}
-	return e.enc.w.Bytes(), &e.enc.stats, nil
+	return e.enc.w, &e.enc.stats, nil
+}
+
+// StitchSegments assembles the final bitstream from headerless segment
+// writers (CloseRaw results) in segment order: the sequence header, then
+// each segment's bits appended at the bit level, byte-aligned exactly
+// once at the very end. Because per-frame entropy state resets at every
+// frame (the MV predictor restarts per macroblock row, and no DC or VLC
+// state crosses frames), a frame's encoded bits are independent of its
+// bit position, so the result is bit-identical to a single-writer encode
+// of the whole sequence under the same cfg and frame count.
+func StitchSegments(cfg CodecConfig, totalFrames int, parts []*BitWriter) ([]byte, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if totalFrames <= 0 || totalFrames > 0xFFFF {
+		return nil, fmt.Errorf("media: frame count %d out of range", totalFrames)
+	}
+	w := NewBitWriter()
+	seq := seqHeaderFor(cfg, totalFrames)
+	WriteSeqHeader(w, &seq)
+	for _, p := range parts {
+		w.AppendBits(p)
+	}
+	return w.Bytes(), nil
 }
 
 // Abort abandons the stream mid-flight: every frame still buffered in

@@ -212,3 +212,36 @@ func TestSyncFramePoolOutstanding(t *testing.T) {
 		t.Fatalf("outstanding = %d after returning all, want 0", got)
 	}
 }
+
+// TestSyncFramePoolDoublePut checks the free-list corruption guard: a
+// second Put of a resident frame must be a counted no-op — without it,
+// the frame would sit on the free list twice and two later Gets would
+// hand the same *Frame to two owners.
+func TestSyncFramePoolDoublePut(t *testing.T) {
+	p := NewSyncFramePool(8)
+	a := p.Get(32, 32)
+	p.Put(a)
+	p.Put(a) // caller bug: released a frame it no longer owns
+	if got := p.DoublePuts(); got != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", got)
+	}
+	if got := p.Retained(); got != 1 {
+		t.Fatalf("retained %d frames after double Put, want 1", got)
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d, want 0 (duplicate Put must not double-decrement)", got)
+	}
+	// The two next Gets must be distinct frames (the corruption the
+	// guard prevents: one pooled, one fresh).
+	b, c := p.Get(32, 32), p.Get(32, 32)
+	if b == c {
+		t.Fatal("double Put corrupted the free list: same frame handed out twice")
+	}
+	// Once re-issued, the frame can be Put again without tripping the
+	// guard — it only flags Puts of currently-resident frames.
+	p.Put(b)
+	p.Put(c)
+	if got := p.DoublePuts(); got != 1 {
+		t.Fatalf("DoublePuts = %d after legitimate reuse, want still 1", got)
+	}
+}

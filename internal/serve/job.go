@@ -421,7 +421,15 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	body := func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+	body := fusedTranscodeBody(stream, seq, cfg, q, pool, workers, encWorkers, met)
+	return NewJob(tenant, KindTranscode, ctx, body), nil
+}
+
+// fusedTranscodeBody builds the fused two-task transcode body shared by
+// NewTranscodeJob and the segmented job's fallback path (clips too short
+// or without usable closed-GOP cuts).
+func fusedTranscodeBody(stream []byte, seq media.SeqHeader, cfg media.CodecConfig, q int, pool *media.SyncFramePool, workers, encWorkers int, met *Metrics) func(ctx context.Context, gate *kpn.Gate) (Result, error) {
+	return func(ctx context.Context, gate *kpn.Gate) (Result, error) {
 		track := &inflightFrames{pool: pool}
 		refs := &frameRefs{n: make(map[*media.Frame]int)}
 		release := func(f *media.Frame) { refs.release(f, track.put) }
@@ -548,7 +556,6 @@ func NewTranscodeJob(ctx context.Context, tenant string, stream []byte, q int, p
 		meta["X-Transcode-Peak-Frames"] = strconv.FormatInt(track.peak.Load(), 10)
 		return Result{Body: out, Meta: meta}, nil
 	}
-	return NewJob(tenant, KindTranscode, ctx, body), nil
 }
 
 // NewTranscodeJobTwoPhase is the pre-fusion reference implementation:

@@ -32,6 +32,29 @@ type Metrics struct {
 	XcodePeakFrames atomic.Int64
 	XcodePushStalls atomic.Uint64
 	XcodePullStalls atomic.Uint64
+
+	// Segment-parallel transcode instrumentation. XcodeSegJobs counts
+	// transcode jobs that actually ran segmented (≥2 closed-GOP
+	// segments); XcodeSegments counts the segments they ran;
+	// XcodeStitchBytes the bytes spliced by the bitstream stitcher.
+	// XcodeSegSkewNs is the high-water mark of the per-job wall-clock
+	// spread between its slowest and fastest segment — persistent skew
+	// means the closed-GOP cuts are partitioning the clip unevenly.
+	XcodeSegJobs     atomic.Uint64
+	XcodeSegments    atomic.Uint64
+	XcodeStitchBytes atomic.Uint64
+	XcodeSegSkewNs   atomic.Int64
+}
+
+// recordXcodeSegSkew folds one segmented job's fastest/slowest segment
+// spread into the global high-water mark.
+func (m *Metrics) recordXcodeSegSkew(skewNs int64) {
+	for {
+		cur := m.XcodeSegSkewNs.Load()
+		if skewNs <= cur || m.XcodeSegSkewNs.CompareAndSwap(cur, skewNs) {
+			return
+		}
+	}
 }
 
 // recordXcodePeak folds one job's peak in-flight frame count into the
@@ -50,19 +73,20 @@ func NewMetrics() *Metrics { return &Metrics{Start: time.Now()} }
 
 // TenantSnapshot is one tenant's row in /varz and /metrics.
 type TenantSnapshot struct {
-	Name          string  `json:"name"`
-	Weight        int     `json:"weight"`
-	QueueCap      int     `json:"queue_cap"`
-	DecodeWorkers int     `json:"decode_workers"`
-	CacheMode     string  `json:"cache_mode"`
-	QueueDepth    int     `json:"queue_depth"`
-	Admitted      int     `json:"admitted"`
-	Completed     uint64  `json:"completed"`
-	Errors        uint64  `json:"errors"`
-	Rejects       uint64  `json:"rejects"`
-	Preempts      uint64  `json:"preempts"`
-	ServiceSec    float64 `json:"service_sec"`
-	EwmaJobMs     float64 `json:"ewma_job_ms"`
+	Name              string  `json:"name"`
+	Weight            int     `json:"weight"`
+	QueueCap          int     `json:"queue_cap"`
+	DecodeWorkers     int     `json:"decode_workers"`
+	CacheMode         string  `json:"cache_mode"`
+	TranscodeSegments int     `json:"transcode_segments"`
+	QueueDepth        int     `json:"queue_depth"`
+	Admitted          int     `json:"admitted"`
+	Completed         uint64  `json:"completed"`
+	Errors            uint64  `json:"errors"`
+	Rejects           uint64  `json:"rejects"`
+	Preempts          uint64  `json:"preempts"`
+	ServiceSec        float64 `json:"service_sec"`
+	EwmaJobMs         float64 `json:"ewma_job_ms"`
 }
 
 // KindSnapshot is one job kind's latency/traffic row.
@@ -96,6 +120,12 @@ type Snapshot struct {
 	XcodePeakFrames int64  `json:"transcode_inflight_frames_peak"`
 	XcodePushStalls uint64 `json:"transcode_push_stalls_total"`
 	XcodePullStalls uint64 `json:"transcode_pull_stalls_total"`
+
+	// Segment-parallel transcode counters (see Metrics).
+	XcodeSegJobs     uint64  `json:"transcode_segmented_jobs_total"`
+	XcodeSegments    uint64  `json:"transcode_segments_total"`
+	XcodeStitchBytes uint64  `json:"transcode_stitch_bytes_total"`
+	XcodeSegSkewMs   float64 `json:"transcode_segment_skew_ms_peak"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -165,6 +195,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, sched *Scheduler, poolRetained in
 	p("# TYPE eclipse_serve_transcode_stalls_total counter\n")
 	p("eclipse_serve_transcode_stalls_total{side=\"push\"} %d\n", m.XcodePushStalls.Load())
 	p("eclipse_serve_transcode_stalls_total{side=\"pull\"} %d\n", m.XcodePullStalls.Load())
+
+	p("# HELP eclipse_serve_transcode_segments_jobs_total Transcode jobs that ran segment-parallel (two or more closed-GOP segments).\n")
+	p("# TYPE eclipse_serve_transcode_segments_jobs_total counter\n")
+	p("eclipse_serve_transcode_segments_jobs_total %d\n", m.XcodeSegJobs.Load())
+	p("# HELP eclipse_serve_transcode_segments_total Closed-GOP segments executed by segment-parallel transcode jobs.\n")
+	p("# TYPE eclipse_serve_transcode_segments_total counter\n")
+	p("eclipse_serve_transcode_segments_total %d\n", m.XcodeSegments.Load())
+	p("# HELP eclipse_serve_transcode_segments_stitch_bytes_total Bytes produced by the bitstream stitcher.\n")
+	p("# TYPE eclipse_serve_transcode_segments_stitch_bytes_total counter\n")
+	p("eclipse_serve_transcode_segments_stitch_bytes_total %d\n", m.XcodeStitchBytes.Load())
+	p("# HELP eclipse_serve_transcode_segments_skew_seconds Peak slowest-minus-fastest segment wall time within one segmented job.\n")
+	p("# TYPE eclipse_serve_transcode_segments_skew_seconds gauge\n")
+	p("eclipse_serve_transcode_segments_skew_seconds %g\n", float64(m.XcodeSegSkewNs.Load())/1e9)
 
 	tenants := sched.SnapshotTenants()
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	// CacheBytes is the result cache's total byte budget. 0 selects the
 	// default (256 MiB); negative disables the cache entirely.
 	CacheBytes int64
+	// TranscodeSegments is the default segment fan-out for transcode
+	// jobs: clips long enough and with usable closed-GOP cuts run up to
+	// this many independent decode→encode pipelines in parallel and the
+	// bitstreams are stitched back together. 1 disables segmentation
+	// (the single fused pipeline); 0 selects min(NumCPU, 8).
+	TranscodeSegments int
 	// Tenants pre-declares tenants with non-default weight or capacity.
 	Tenants []TenantConfig
 }
@@ -68,11 +75,12 @@ func (m CacheMode) String() string {
 
 // TenantConfig declares one tenant's scheduling parameters.
 type TenantConfig struct {
-	Name          string
-	Weight        int       // scheduling-slice multiplier; ≥1
-	QueueCap      int       // admission bound; ≥1
-	DecodeWorkers int       // decode engine width; 0 → Config.DecodeWorkers
-	Cache         CacheMode // per-tenant result-cache override
+	Name              string
+	Weight            int       // scheduling-slice multiplier; ≥1
+	QueueCap          int       // admission bound; ≥1
+	DecodeWorkers     int       // decode engine width; 0 → Config.DecodeWorkers
+	Cache             CacheMode // per-tenant result-cache override
+	TranscodeSegments int       // segment fan-out; 0 → Config.TranscodeSegments
 }
 
 // withDefaults fills zero fields.
@@ -100,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.TranscodeSegments <= 0 {
+		c.TranscodeSegments = runtime.NumCPU()
+		if c.TranscodeSegments > 8 {
+			c.TranscodeSegments = 8
+		}
 	}
 	return c
 }
@@ -135,6 +149,7 @@ type tenant struct {
 	cap           int
 	decodeWorkers int
 	cacheMode     CacheMode
+	xcodeSegments int
 
 	q        []*Job // admitted, waiting (including preempted jobs)
 	admitted int    // waiting + running, not yet finished
@@ -174,7 +189,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 	s := &Scheduler{cfg: cfg, met: met, byName: map[string]*tenant{}}
 	s.cond = sync.NewCond(&s.mu)
 	for _, tc := range cfg.Tenants {
-		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap, tc.DecodeWorkers, tc.Cache)
+		s.tenantLocked(tc.Name, tc.Weight, tc.QueueCap, tc.DecodeWorkers, tc.TranscodeSegments, tc.Cache)
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -185,7 +200,7 @@ func NewScheduler(cfg Config, met *Metrics) *Scheduler {
 
 // tenantLocked returns the named tenant, creating it with the given (or
 // default) parameters. Caller holds s.mu or is the constructor.
-func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int, cache CacheMode) *tenant {
+func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers, xsegs int, cache CacheMode) *tenant {
 	if t, ok := s.byName[name]; ok {
 		return t
 	}
@@ -198,7 +213,10 @@ func (s *Scheduler) tenantLocked(name string, weight, qcap, dworkers int, cache 
 	if dworkers <= 0 {
 		dworkers = s.cfg.DecodeWorkers
 	}
-	t := &tenant{name: name, weight: weight, cap: qcap, decodeWorkers: dworkers, cacheMode: cache}
+	if xsegs <= 0 {
+		xsegs = s.cfg.TranscodeSegments
+	}
+	t := &tenant{name: name, weight: weight, cap: qcap, decodeWorkers: dworkers, cacheMode: cache, xcodeSegments: xsegs}
 	s.tenants = append(s.tenants, t)
 	s.byName[name] = t
 	return t
@@ -215,6 +233,18 @@ func (s *Scheduler) DecodeWorkersFor(name string) int {
 		return t.decodeWorkers
 	}
 	return s.cfg.DecodeWorkers
+}
+
+// TranscodeSegmentsFor reports the segment fan-out for a tenant's
+// transcode jobs: its declared value if pre-registered, else the config
+// default. 1 means the single fused pipeline.
+func (s *Scheduler) TranscodeSegmentsFor(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.byName[name]; ok {
+		return t.xcodeSegments
+	}
+	return s.cfg.TranscodeSegments
 }
 
 // EncodeWorkers reports the server-wide per-job encode analysis
@@ -249,7 +279,7 @@ func (s *Scheduler) Submit(j *Job) error {
 		s.mu.Unlock()
 		return ErrDraining
 	}
-	t := s.tenantLocked(j.Tenant, 0, 0, 0, CacheDefault)
+	t := s.tenantLocked(j.Tenant, 0, 0, 0, 0, CacheDefault)
 	if t.admitted >= t.cap {
 		t.rejects++
 		ra := s.retryAfterLocked(t)
@@ -465,19 +495,20 @@ func (s *Scheduler) SnapshotTenants() []TenantSnapshot {
 	out := make([]TenantSnapshot, 0, len(s.tenants))
 	for _, t := range s.tenants {
 		out = append(out, TenantSnapshot{
-			Name:          t.name,
-			Weight:        t.weight,
-			QueueCap:      t.cap,
-			DecodeWorkers: t.decodeWorkers,
-			CacheMode:     t.cacheMode.String(),
-			QueueDepth:    len(t.q),
-			Admitted:      t.admitted,
-			Completed:     t.completed,
-			Errors:        t.errored,
-			Rejects:       t.rejects,
-			Preempts:      t.preempts,
-			ServiceSec:    float64(t.serviceNs) / 1e9,
-			EwmaJobMs:     t.ewmaJobNs / 1e6,
+			Name:              t.name,
+			Weight:            t.weight,
+			QueueCap:          t.cap,
+			DecodeWorkers:     t.decodeWorkers,
+			CacheMode:         t.cacheMode.String(),
+			TranscodeSegments: t.xcodeSegments,
+			QueueDepth:        len(t.q),
+			Admitted:          t.admitted,
+			Completed:         t.completed,
+			Errors:            t.errored,
+			Rejects:           t.rejects,
+			Preempts:          t.preempts,
+			ServiceSec:        float64(t.serviceNs) / 1e9,
+			EwmaJobMs:         t.ewmaJobNs / 1e6,
 		})
 	}
 	return out

@@ -349,7 +349,9 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
-	j, err := NewTranscodeJob(ctx, tenant, body, q, s.pool, s.sched.DecodeWorkersFor(tenant), s.sched.EncodeWorkers(), s.met)
+	j, err := NewTranscodeJobSegmented(ctx, tenant, body, q, s.pool,
+		s.sched.DecodeWorkersFor(tenant), s.sched.EncodeWorkers(),
+		s.sched.TranscodeSegmentsFor(tenant), s.met)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -392,6 +394,11 @@ func (s *Server) varz() Snapshot {
 		XcodePeakFrames: s.met.XcodePeakFrames.Load(),
 		XcodePushStalls: s.met.XcodePushStalls.Load(),
 		XcodePullStalls: s.met.XcodePullStalls.Load(),
+
+		XcodeSegJobs:     s.met.XcodeSegJobs.Load(),
+		XcodeSegments:    s.met.XcodeSegments.Load(),
+		XcodeStitchBytes: s.met.XcodeStitchBytes.Load(),
+		XcodeSegSkewMs:   float64(s.met.XcodeSegSkewNs.Load()) / 1e6,
 	}
 }
 
