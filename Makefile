@@ -56,7 +56,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell
+	$(GO) test -race ./internal/sim ./internal/kpn ./internal/serve ./internal/shell ./internal/cluster
 	$(GO) test -race -run 'Parallel|Sweep|Coupling|MemoryOrg' .
 	$(GO) test -race -run 'Encode|Golden|ParallelParity|DecodeOptions|DisplayFramesInto|Streaming|StreamSink' ./internal/media
 	GOMAXPROCS=4 $(GO) test -race -run 'Segment' ./internal/media ./internal/serve
@@ -100,12 +100,20 @@ bench-transcode:
 bench-gop:
 	$(GO) run ./cmd/eclipse-bench gop
 
+# bench-gateway stands up 3 in-process eclipse-serve backends (one with
+# an injected 60ms tail) behind the cluster gateway and records the
+# gateway_* trajectory fields: warm cache-affinity hit rate, hedge rate,
+# and p50/p99 with hedging off, on, and with one backend hard-killed.
+bench-gateway:
+	$(GO) run ./cmd/eclipse-bench gateway
+
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel
 	$(GO) run ./cmd/eclipse-bench shell
 	$(GO) run ./cmd/eclipse-bench media
 	$(GO) run ./cmd/eclipse-bench loadgen
 	$(GO) run ./cmd/eclipse-bench gop
+	$(GO) run ./cmd/eclipse-bench gateway
 
 bench-baseline:
 	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)

@@ -1,0 +1,276 @@
+package main
+
+// Gateway cluster benchmark: `eclipse-bench gateway [entry-id [path]]`
+// stands up 3 in-process eclipse-serve backends behind the
+// internal/cluster gateway and records the gateway_* trajectory fields
+// of BENCH_kernel.json.
+//
+// One backend is "laggy": every 10th media request it serves stalls an
+// extra 60ms — below the adaptive hedge trigger's 5% quantile, so the
+// per-kind p95 stays fast while the p99 is dominated by the stalls.
+// Three measured passes over a warm catalog tell the story:
+//
+//	nohedge  hedging disabled — the p99 eats the full 60ms stall
+//	hedge    adaptive hedging — stalled requests are duplicated to the
+//	         runner-up backend after ~p95 and the fast answer wins
+//	killed   hedging on, one (non-laggy) backend hard-killed mid-run —
+//	         retries and passive ejection route around the corpse
+//
+// Every 200 response in every pass is verified byte-identical to the
+// offline codec before any number is recorded; the run aborts if
+// hedging does not measurably cut the p99.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"eclipse/internal/cluster"
+	"eclipse/internal/media"
+	"eclipse/internal/serve"
+)
+
+// gwStream is one catalog entry with its offline decode truth.
+type gwStream struct {
+	stream  []byte
+	wantRaw []byte
+}
+
+// durQuantileMs reports the q-quantile of ds in milliseconds.
+func durQuantileMs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / 1e6
+}
+
+func gatewayBench() {
+	id := "head-" + time.Now().Format("2006-01-02")
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("Gateway cluster bench -> " + path)
+
+	const (
+		nBackends = 3
+		nStreams  = 12
+		reps      = 20 // measured requests per stream per pass
+		warmReps  = 4  // enough AttemptLat samples to arm the adaptive trigger
+		slowEvery = 10 // laggy backend stalls every Nth media request
+		stall     = 60 * time.Millisecond
+	)
+
+	// Catalog with offline truth.
+	cat := make([]gwStream, nStreams)
+	for i := range cat {
+		stream := workload(96, 80, 8, 6, int64(i+1))
+		ref, err := media.Decode(stream)
+		if err != nil {
+			fail(err)
+		}
+		var raw []byte
+		for _, f := range ref.DisplayFrames() {
+			raw = append(raw, f.Pix...)
+		}
+		cat[i] = gwStream{stream: stream, wantRaw: raw}
+	}
+
+	// Backends. Index 0 is laggy: its handler stalls every slowEvery-th
+	// media request by 60ms before answering.
+	srvs := make([]*serve.Server, nBackends)
+	tss := make([]*httptest.Server, nBackends)
+	addrs := make([]string, nBackends)
+	var laggyHits atomic.Int64
+	for i := 0; i < nBackends; i++ {
+		srvs[i] = serve.New(serve.Config{Workers: 2, BaseSlice: 2 * time.Millisecond, QueueCap: 64})
+		h := srvs[i].Handler()
+		if i == 0 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && laggyHits.Add(1)%slowEvery == 0 {
+					time.Sleep(stall)
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		tss[i] = httptest.NewServer(h)
+		addrs[i] = tss[i].Listener.Addr().String()
+	}
+	defer func() {
+		for i := range tss {
+			tss[i].Close()
+		}
+	}()
+
+	newGW := func(hedgeOff bool) (*cluster.Gateway, *httptest.Server) {
+		gw, err := cluster.New(cluster.Config{
+			Backends:      addrs,
+			ProbeInterval: 20 * time.Millisecond,
+			Rise:          2,
+			Fall:          2,
+			PassiveFall:   2,
+			MaxRetries:    2,
+			RetryBase:     2 * time.Millisecond,
+			HedgeDisabled: hedgeOff,
+		})
+		if err != nil {
+			fail(err)
+		}
+		gw.Start()
+		ts := httptest.NewServer(gw.Handler())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := gw.WaitReady(ctx, nBackends); err != nil {
+			fail(err)
+		}
+		return gw, ts
+	}
+	gwOff, tsOff := newGW(true)
+	gwOn, tsOn := newGW(false)
+	defer func() { tsOff.Close(); gwOff.Stop(); tsOn.Close(); gwOn.Stop() }()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	hits := 0
+	total := 0
+	post := func(url string, s gwStream, verify, countHit bool) time.Duration {
+		start := time.Now()
+		resp, err := client.Post(url+"/v1/decode", "application/octet-stream", bytes.NewReader(s.stream))
+		if err != nil {
+			fail(err)
+		}
+		el := time.Since(start)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fail(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("gateway bench: status %d from %s: %s", resp.StatusCode, resp.Header.Get(cluster.BackendHeader), body))
+		}
+		if verify && !bytes.Equal(body, s.wantRaw) {
+			fail(fmt.Errorf("gateway bench: response differs from offline codec (backend %s)", resp.Header.Get(cluster.BackendHeader)))
+		}
+		if countHit {
+			total++
+			if resp.Header.Get("X-Cache") == serve.CacheHit.String() {
+				hits++
+			}
+		}
+		return el
+	}
+	pass := func(url string, n int, countHit bool) []time.Duration {
+		ds := make([]time.Duration, 0, n*len(cat))
+		for r := 0; r < n; r++ {
+			for _, s := range cat {
+				ds = append(ds, post(url, s, true, countHit))
+			}
+		}
+		return ds
+	}
+
+	// Warm both gateways: fills the preferred backends' caches and arms
+	// the hedge-on gateway's adaptive trigger with AttemptLat samples.
+	pass(tsOff.URL, warmReps, false)
+	pass(tsOn.URL, warmReps, false)
+
+	// Pass 1: hedging off. The laggy backend's stalls own the p99.
+	offLat := pass(tsOff.URL, reps, true)
+
+	// Pass 2: hedging on, counters deltas isolated to this window.
+	k := serve.KindDecode
+	reqBase := gwOn.Metrics().Requests[k].Load()
+	hedgeBase := gwOn.Metrics().Hedges[k].Load()
+	winBase := gwOn.Metrics().HedgeWins[k].Load()
+	onLat := pass(tsOn.URL, reps, true)
+	onReqs := gwOn.Metrics().Requests[k].Load() - reqBase
+	onHedges := gwOn.Metrics().Hedges[k].Load() - hedgeBase
+	onWins := gwOn.Metrics().HedgeWins[k].Load() - winBase
+
+	// Pass 3: hard-kill a healthy (non-laggy) backend mid-run and keep
+	// hedging. Retries + passive ejection must hide the corpse.
+	tss[1].CloseClientConnections()
+	tss[1].Close()
+	killLat := pass(tsOn.URL, reps, false)
+
+	entry := kernelBenchEntry{
+		GatewayBackends:     nBackends,
+		GatewayRequests:     uint64(len(offLat) + len(onLat) + len(killLat)),
+		GatewayAffinityRate: float64(hits) / float64(total),
+		GatewayHedgeRate:    float64(onHedges) / float64(onReqs),
+		GatewayHedgeWinRate: float64(onWins) / float64(onReqs),
+		GatewayP50Ms:        durQuantileMs(onLat, 0.50),
+		GatewayP99Ms:        durQuantileMs(onLat, 0.99),
+		GatewayNoHedgeP50Ms: durQuantileMs(offLat, 0.50),
+		GatewayNoHedgeP99Ms: durQuantileMs(offLat, 0.99),
+		GatewayKilledP50Ms:  durQuantileMs(killLat, 0.50),
+		GatewayKilledP99Ms:  durQuantileMs(killLat, 0.99),
+		GatewayRetries:      gwOn.Metrics().Retries.Load() + gwOff.Metrics().Retries.Load(),
+	}
+	for _, b := range gwOn.Backends() {
+		entry.GatewayEjections += b.Snapshot().Ejections
+	}
+
+	fmt.Printf("  affinity: %5.1f%% warm hit rate over %d requests (%d backends)\n",
+		100*entry.GatewayAffinityRate, total, nBackends)
+	fmt.Printf("  nohedge:  p50 %6.2f ms  p99 %7.2f ms\n", entry.GatewayNoHedgeP50Ms, entry.GatewayNoHedgeP99Ms)
+	fmt.Printf("  hedge:    p50 %6.2f ms  p99 %7.2f ms  (hedge rate %4.1f%%, win rate %4.1f%%)\n",
+		entry.GatewayP50Ms, entry.GatewayP99Ms, 100*entry.GatewayHedgeRate, 100*entry.GatewayHedgeWinRate)
+	fmt.Printf("  killed:   p50 %6.2f ms  p99 %7.2f ms  (%d retries, %d ejections)\n",
+		entry.GatewayKilledP50Ms, entry.GatewayKilledP99Ms, entry.GatewayRetries, entry.GatewayEjections)
+
+	if entry.GatewayP99Ms >= 0.75*entry.GatewayNoHedgeP99Ms {
+		fail(fmt.Errorf("gateway bench: hedging did not cut p99 (on %.2fms vs off %.2fms)",
+			entry.GatewayP99Ms, entry.GatewayNoHedgeP99Ms))
+	}
+	if entry.GatewayAffinityRate < 0.9 {
+		fail(fmt.Errorf("gateway bench: warm affinity hit rate %.2f, want >= 0.9", entry.GatewayAffinityRate))
+	}
+
+	doc := loadKernelBench(path)
+	e := benchEntry(&doc, id)
+	// Merge: only the gateway_* fields belong to this subcommand; other
+	// subsystems' results recorded under the same ID are preserved.
+	e.Date = time.Now().Format("2006-01-02")
+	e.GatewayBackends = entry.GatewayBackends
+	e.GatewayRequests = entry.GatewayRequests
+	e.GatewayAffinityRate = entry.GatewayAffinityRate
+	e.GatewayHedgeRate = entry.GatewayHedgeRate
+	e.GatewayHedgeWinRate = entry.GatewayHedgeWinRate
+	e.GatewayP50Ms = entry.GatewayP50Ms
+	e.GatewayP99Ms = entry.GatewayP99Ms
+	e.GatewayNoHedgeP50Ms = entry.GatewayNoHedgeP50Ms
+	e.GatewayNoHedgeP99Ms = entry.GatewayNoHedgeP99Ms
+	e.GatewayKilledP50Ms = entry.GatewayKilledP50Ms
+	e.GatewayKilledP99Ms = entry.GatewayKilledP99Ms
+	e.GatewayRetries = entry.GatewayRetries
+	e.GatewayEjections = entry.GatewayEjections
+	saveKernelBench(path, &doc)
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
+
+	// Drain the backends so the process exits clean.
+	for i, srv := range srvs {
+		if i == 1 {
+			continue // already killed
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+}

@@ -115,6 +115,27 @@ type kernelBenchEntry struct {
 	// on multi-core hosts — transcode_seg_num_cpu records the machine;
 	// on a single CPU the segmented path degenerates to serial work plus
 	// indexing overhead.
+	// Gateway cluster bench (`eclipse-bench gateway`): 3 in-process
+	// backends (one with an injected 60ms stall on every 10th request)
+	// behind the internal/cluster gateway. Records cluster-wide cache
+	// affinity (X-Cache hit rate on a warm catalog), the hedge rate, and
+	// the latency quantiles with hedging off, with hedging on, and with
+	// hedging on while one backend is hard-killed mid-run. Every 200 is
+	// verified byte-identical to the offline codec before recording.
+	GatewayBackends     int     `json:"gateway_backends,omitempty"`
+	GatewayRequests     uint64  `json:"gateway_requests,omitempty"`
+	GatewayAffinityRate float64 `json:"gateway_affinity_hit_rate,omitempty"`
+	GatewayHedgeRate    float64 `json:"gateway_hedge_rate,omitempty"`
+	GatewayHedgeWinRate float64 `json:"gateway_hedge_win_rate,omitempty"`
+	GatewayP50Ms        float64 `json:"gateway_p50_ms,omitempty"`
+	GatewayP99Ms        float64 `json:"gateway_p99_ms,omitempty"`
+	GatewayNoHedgeP50Ms float64 `json:"gateway_nohedge_p50_ms,omitempty"`
+	GatewayNoHedgeP99Ms float64 `json:"gateway_nohedge_p99_ms,omitempty"`
+	GatewayKilledP50Ms  float64 `json:"gateway_killed_p50_ms,omitempty"`
+	GatewayKilledP99Ms  float64 `json:"gateway_killed_p99_ms,omitempty"`
+	GatewayRetries      uint64  `json:"gateway_retries,omitempty"`
+	GatewayEjections    uint64  `json:"gateway_ejections,omitempty"`
+
 	XcodeSegMsPerOp    float64 `json:"transcode_seg_ms_per_op,omitempty"`
 	XcodeSeg1MsPerOp   float64 `json:"transcode_seg1_ms_per_op,omitempty"`
 	XcodeSegSpeedup    float64 `json:"transcode_seg_speedup,omitempty"`

@@ -19,6 +19,7 @@
 //	media       codec-kernel wall-clock speed; updates BENCH_kernel.json
 //	loadgen     serving-path load generation; updates BENCH_kernel.json
 //	gop         GOP-parallel transcode, segments 1 vs K; updates BENCH_kernel.json
+//	gateway     cluster gateway affinity/hedging/failover; updates BENCH_kernel.json
 //	all         everything above except the BENCH_kernel.json writers
 package main
 
@@ -58,6 +59,7 @@ func main() {
 		"media":      mediaBench,
 		"loadgen":    loadgenBench,
 		"gop":        gopBench,
+		"gateway":    gatewayBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

@@ -9,7 +9,8 @@
 //	POST /v1/decode              ECL1 bitstream in, raw luma planes out
 //	POST /v1/encode?w=&h=[&q=..] raw luma planes in, ECL1 bitstream out
 //	POST /v1/transcode?q=        ECL1 in, re-encoded ECL1 out
-//	GET  /healthz                readiness (503 while draining)
+//	GET  /healthz                liveness (200 while the process is up)
+//	GET  /readyz                 readiness (503 + X-Eclipse-Draining while draining)
 //	GET  /varz                   JSON status document
 //	GET  /metrics                Prometheus text exposition
 //

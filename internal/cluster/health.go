@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// Active health checking: one prober goroutine per backend GETs its
+// /readyz on a fixed cadence and drives the rise/fall state machine.
+//
+//   - rise: a Down (or Draining) backend needs Rise consecutive 200s
+//     before it takes traffic again — a restarted process must prove
+//     itself stable, not just accept one connection;
+//   - fall: an Up backend is removed after Fall consecutive failures
+//     (connect error, timeout, or any non-200 without the draining
+//     marker);
+//   - drain: a 503 carrying X-Eclipse-Draining moves the backend to
+//     Draining immediately, no threshold — the backend itself asserted
+//     it is going away, which outranks any counting.
+//
+// The consecutive counters are prober-private. Passive transitions
+// (ejection from the proxy path) bump the backend's epoch; the prober
+// notices and zeroes its counters, so re-admission after an ejection
+// always costs Rise fresh successes.
+
+// probeResult classifies one health probe.
+type probeResult int
+
+const (
+	probeOK probeResult = iota
+	probeFail
+	probeDraining
+)
+
+// probeOnce performs a single /readyz check.
+func (g *Gateway) probeOnce(b *Backend) probeResult {
+	ctx, cancel := context.WithTimeout(g.probeCtx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url.String()+"/readyz", nil)
+	if err != nil {
+		return probeFail
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return probeFail
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return probeOK
+	case resp.Header.Get(serve.DrainingHeader) != "":
+		return probeDraining
+	default:
+		return probeFail
+	}
+}
+
+// probeLoop drives one backend's health state until the gateway stops.
+// The first probe fires immediately so cold starts admit backends after
+// Rise×ProbeInterval rather than an extra tick.
+func (g *Gateway) probeLoop(b *Backend) {
+	defer g.probeWG.Done()
+	var (
+		consecOK, consecFail int
+		lastEpoch            = b.epoch.Load()
+	)
+	tick := time.NewTicker(g.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		// A transition this prober did not make (passive ejection or
+		// drain marking) invalidates its streak.
+		if e := b.epoch.Load(); e != lastEpoch {
+			consecOK, consecFail = 0, 0
+			lastEpoch = e
+		}
+		switch g.probeOnce(b) {
+		case probeOK:
+			b.probeOK.Add(1)
+			consecOK++
+			consecFail = 0
+			if b.State() != StateUp && consecOK >= g.cfg.Rise {
+				b.passiveFails.Store(0)
+				g.setState(b, StateUp)
+				lastEpoch = b.epoch.Load()
+			}
+		case probeDraining:
+			b.probeFail.Add(1)
+			consecOK = 0
+			consecFail = 0
+			if b.State() != StateDraining {
+				g.setState(b, StateDraining)
+				lastEpoch = b.epoch.Load()
+			}
+		case probeFail:
+			b.probeFail.Add(1)
+			consecOK = 0
+			consecFail++
+			// A draining backend whose listener has since closed is just
+			// down; either way Fall failures end in StateDown.
+			if b.State() != StateDown && consecFail >= g.cfg.Fall {
+				g.setState(b, StateDown)
+				lastEpoch = b.epoch.Load()
+			}
+		}
+		select {
+		case <-g.probeCtx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// passiveFailure records a proxied transport failure against a backend
+// and ejects it after PassiveFall consecutive ones — faster than
+// waiting Fall probe intervals when a node vanishes under load.
+func (g *Gateway) passiveFailure(b *Backend) {
+	if int(b.passiveFails.Add(1)) >= g.cfg.PassiveFall && b.State() == StateUp {
+		b.passiveFails.Store(0)
+		b.ejections.Add(1)
+		g.setState(b, StateDown)
+	}
+}
+
+// passiveSuccess clears the consecutive-failure streak.
+func (g *Gateway) passiveSuccess(b *Backend) { b.passiveFails.Store(0) }
+
+// passiveDraining marks a backend that answered with the draining
+// header on a proxied response — no need to wait for the next probe.
+func (g *Gateway) passiveDraining(b *Backend) {
+	if b.State() != StateDraining {
+		g.setState(b, StateDraining)
+	}
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestHealthLifecycle walks one backend through the full state machine
+// under the active prober: admitted after Rise probes, ejected after
+// Fall failures, re-admitted after a "restart" (failures stop), pulled
+// immediately on a draining announcement, and restored when the drain
+// is cancelled.
+func TestHealthLifecycle(t *testing.T) {
+	f := newFakeBackend(t)
+	g := newTestGateway(t, Config{
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		Rise:          2,
+		Fall:          2,
+	}, f.addr())
+	g.Start()
+	defer g.Stop()
+	b := g.backends[0]
+
+	if b.State() != StateDown {
+		t.Fatalf("initial state %v, want down (no traffic before Rise probes)", b.State())
+	}
+	waitState(t, b, StateUp)
+
+	// Probe failures: Fall consecutive 500s eject.
+	f.mode.Store("fail")
+	waitState(t, b, StateDown)
+
+	// "Restart": the same name:port answers again; Rise fresh probes
+	// re-admit it with its rendezvous key range intact.
+	f.mode.Store("ok")
+	waitState(t, b, StateUp)
+	if got := b.probeOK.Load(); got < 2 {
+		t.Fatalf("re-admitted after %d ok probes, want >= Rise", got)
+	}
+
+	// Draining marker: removed without waiting for any threshold.
+	f.mode.Store("drain")
+	waitState(t, b, StateDraining)
+
+	// Drain cancelled: Rise probes bring it back.
+	f.mode.Store("ok")
+	waitState(t, b, StateUp)
+
+	if churn := g.met.RingChurn.Load(); churn < 5 {
+		t.Fatalf("ring churn %d, want >= 5 transitions", churn)
+	}
+}
+
+// TestHealthRiseThreshold: one good probe is not enough — a flapping
+// backend (ok, fail, ok, fail...) with Rise=2 must never be admitted.
+func TestHealthRiseThreshold(t *testing.T) {
+	f := newFakeBackend(t)
+	f.mode.Store("flap") // the fake alternates 200/500 per probe
+	g := newTestGateway(t, Config{
+		ProbeInterval: 3 * time.Millisecond,
+		Rise:          2,
+		Fall:          2,
+	}, f.addr())
+	g.Start()
+	defer g.Stop()
+	b := g.backends[0]
+
+	for f.probes.Load() < 20 {
+		if b.State() == StateUp {
+			t.Fatal("flapping backend admitted with a single good probe")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPassiveEjection: consecutive proxied transport failures remove a
+// backend without waiting for the prober, and re-admission afterwards
+// still costs Rise fresh probes (the epoch reset).
+func TestPassiveEjection(t *testing.T) {
+	f := newFakeBackend(t)
+	g := newTestGateway(t, Config{PassiveFall: 3, Rise: 2}, f.addr())
+	forceUp(g)
+	b := g.backends[0]
+
+	epochBefore := b.epoch.Load()
+	g.passiveFailure(b)
+	g.passiveFailure(b)
+	if b.State() != StateUp {
+		t.Fatalf("ejected after 2 failures, want threshold 3")
+	}
+	g.passiveFailure(b)
+	if b.State() != StateDown {
+		t.Fatal("not ejected after PassiveFall consecutive failures")
+	}
+	if b.ejections.Load() != 1 {
+		t.Fatalf("ejections = %d, want 1", b.ejections.Load())
+	}
+	if b.epoch.Load() == epochBefore {
+		t.Fatal("ejection did not bump the epoch; the prober would keep a stale streak")
+	}
+
+	// A success streak interrupted by recovery never ejects.
+	forceUp(g)
+	g.passiveFailure(b)
+	g.passiveFailure(b)
+	g.passiveSuccess(b)
+	g.passiveFailure(b)
+	g.passiveFailure(b)
+	if b.State() != StateUp {
+		t.Fatal("ejected although the failure streak was broken by a success")
+	}
+}
+
+// TestWaitReady times out cleanly when nothing comes up.
+func TestWaitReady(t *testing.T) {
+	f := newFakeBackend(t)
+	f.mode.Store("fail")
+	g := newTestGateway(t, Config{ProbeInterval: 5 * time.Millisecond}, f.addr())
+	g.Start()
+	defer g.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := g.WaitReady(ctx, 1); err == nil {
+		t.Fatal("WaitReady succeeded with no healthy backend")
+	}
+}

@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// Hedging ("tail at scale"): when the preferred backend has not
+// answered within the per-kind hedge delay, the gateway duplicates the
+// request to the next backend in rendezvous order and takes whichever
+// response lands first, cancelling the loser. The delay is adaptive —
+// the p95 of successful upstream attempt latencies for that kind — so
+// roughly 5% of requests hedge, bounding the duplicate load while
+// cutting the latency tail caused by one slow node.
+
+// hedgeDelay returns the current hedge trigger delay for a kind.
+func (g *Gateway) hedgeDelay(k serve.Kind) time.Duration {
+	if g.cfg.HedgeAfter > 0 {
+		return g.cfg.HedgeAfter
+	}
+	h := &g.met.AttemptLat[k]
+	if h.Count() < uint64(g.cfg.HedgeMinSamples) {
+		// Not enough signal yet: hedge conservatively so a cold gateway
+		// never doubles its load on guesswork.
+		return g.cfg.HedgeColdDelay
+	}
+	d := h.Quantile(0.95)
+	if d < g.cfg.HedgeMinDelay {
+		d = g.cfg.HedgeMinDelay
+	}
+	return d
+}

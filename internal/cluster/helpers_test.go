@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// fakeBackend is a scriptable stand-in for an eclipse-serve instance.
+// Its mode selects the behaviour of both the /readyz probe and the
+// media endpoints:
+//
+//	ok        200s everywhere
+//	fail      500s everywhere (probe failure, non-retryable media 500)
+//	drain     503 + X-Eclipse-Draining + Retry-After everywhere
+//	pushback  readyz 200; media 429 with a scheduler-style Retry-After
+//	midstream readyz 200; media sends headers then aborts the connection
+type fakeBackend struct {
+	ts        *httptest.Server
+	mode      atomic.Value // string
+	delay     atomic.Int64 // ns of sleep before answering media requests
+	hits      atomic.Int64 // media requests received
+	probes    atomic.Int64 // readyz probes received
+	cancelled atomic.Int64 // media requests whose context died mid-delay
+}
+
+const fakeRetryAfter = "0.137"
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	f.mode.Store("ok")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch f.mode.Load().(string) {
+		case "flap":
+			// Alternate ok/fail per probe: never Rise consecutive 200s.
+			if f.probes.Add(1)%2 == 0 {
+				w.WriteHeader(http.StatusInternalServerError)
+			}
+		case "drain":
+			w.Header().Set(serve.DrainingHeader, "1")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case "fail":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	media := func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		// Consume the body like a real backend: the server's client-abort
+		// detection (background read) only arms once the body is drained.
+		io.Copy(io.Discard, r.Body)
+		if d := f.delay.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				f.cancelled.Add(1)
+				return
+			}
+		}
+		switch f.mode.Load().(string) {
+		case "fail":
+			http.Error(w, "internal", http.StatusInternalServerError)
+		case "drain":
+			w.Header().Set(serve.DrainingHeader, "1")
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case "pushback":
+			w.Header().Set("Retry-After", fakeRetryAfter)
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		case "midstream":
+			w.Header().Set("Content-Length", "1048576")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("partial-payload"))
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		default:
+			fmt.Fprintf(w, "hello from %s", r.Host)
+		}
+	}
+	mux.HandleFunc("POST /v1/decode", media)
+	mux.HandleFunc("POST /v1/encode", media)
+	mux.HandleFunc("POST /v1/transcode", media)
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// addr returns the backend's host:port — its gateway identity.
+func (f *fakeBackend) addr() string { return f.ts.Listener.Addr().String() }
+
+// newTestGateway builds a gateway over the addresses without starting
+// the probers; tests drive backend state explicitly for determinism.
+func newTestGateway(t *testing.T, cfg Config, addrs ...string) *Gateway {
+	t.Helper()
+	cfg.Backends = addrs
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// forceUp marks every backend routable, bypassing the prober.
+func forceUp(g *Gateway) {
+	for _, b := range g.backends {
+		g.setState(b, StateUp)
+	}
+}
+
+// waitState polls until the backend reaches the wanted state.
+func waitState(t *testing.T, b *Backend, want BackendState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.State() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("backend %s: state %v, want %v", b.Name(), b.State(), want)
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// nKinds mirrors the serve package's job kinds (decode/encode/transcode).
+const nKinds = 3
+
+// kinds enumerates them for metric rendering.
+var kinds = [nKinds]serve.Kind{serve.KindDecode, serve.KindEncode, serve.KindTranscode}
+
+// Metrics is the gateway's counter/histogram registry. Everything is
+// atomic; the request path never takes a lock here.
+type Metrics struct {
+	Start time.Time
+
+	Requests [nKinds]atomic.Uint64 // client requests by kind
+	Errors   [nKinds]atomic.Uint64 // requests that ended non-2xx/3xx
+	// Latency is end-to-end gateway latency (including retries and
+	// hedge waits); AttemptLat is per-attempt upstream latency of
+	// successful attempts only — the distribution that feeds the hedge
+	// trigger, uncontaminated by the hedges it causes.
+	Latency    [nKinds]serve.Hist
+	AttemptLat [nKinds]serve.Hist
+	Hedges     [nKinds]atomic.Uint64 // hedge attempts launched
+	HedgeWins  [nKinds]atomic.Uint64 // requests won by the hedge attempt
+
+	Retries     atomic.Uint64 // retry attempts launched (backoff path)
+	RingChurn   atomic.Uint64 // backend state transitions (routable-set edits)
+	NoBackend   atomic.Uint64 // requests refused: no routable backend
+	MidStream   atomic.Uint64 // upstream died after headers: 502, no partial body
+	BytesIn     atomic.Uint64
+	BytesOut    atomic.Uint64
+	Passthrough atomic.Uint64 // 429/503 pushback responses relayed verbatim
+}
+
+// NewMetrics returns a zeroed registry stamped with the start time.
+func NewMetrics() *Metrics { return &Metrics{Start: time.Now()} }
+
+// KindSnapshot is one kind's row in /varz.
+type KindSnapshot struct {
+	Kind      string  `json:"kind"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	Hedges    uint64  `json:"hedges"`
+	HedgeWins uint64  `json:"hedge_wins"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	HedgeMs   float64 `json:"hedge_after_ms"` // current hedge trigger delay
+}
+
+// Snapshot is the gateway /varz document.
+type Snapshot struct {
+	UptimeSec   float64           `json:"uptime_sec"`
+	Routable    int               `json:"routable_backends"`
+	Backends    []BackendSnapshot `json:"backends"`
+	Kinds       []KindSnapshot    `json:"kinds"`
+	RingChurn   uint64            `json:"ring_churn_total"`
+	Retries     uint64            `json:"retries_total"`
+	NoBackend   uint64            `json:"no_backend_total"`
+	MidStream   uint64            `json:"mid_stream_502_total"`
+	Passthrough uint64            `json:"pushback_passthrough_total"`
+	BytesIn     uint64            `json:"bytes_in_total"`
+	BytesOut    uint64            `json:"bytes_out_total"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// WritePrometheus renders the gateway metric families in the Prometheus
+// text exposition format, dependency-free like the serve registry.
+func (g *Gateway) WritePrometheus(w io.Writer) {
+	m := g.met
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP eclipse_gateway_uptime_seconds Time since gateway start.\n")
+	p("# TYPE eclipse_gateway_uptime_seconds gauge\n")
+	p("eclipse_gateway_uptime_seconds %g\n", time.Since(m.Start).Seconds())
+
+	p("# HELP eclipse_gateway_requests_total Client requests by kind.\n")
+	p("# TYPE eclipse_gateway_requests_total counter\n")
+	for _, k := range kinds {
+		p("eclipse_gateway_requests_total{kind=%q} %d\n", k.String(), m.Requests[k].Load())
+	}
+	p("# HELP eclipse_gateway_errors_total Requests that ended non-2xx/3xx, by kind.\n")
+	p("# TYPE eclipse_gateway_errors_total counter\n")
+	for _, k := range kinds {
+		p("eclipse_gateway_errors_total{kind=%q} %d\n", k.String(), m.Errors[k].Load())
+	}
+	p("# HELP eclipse_gateway_hedges_total Hedge attempts launched, by kind.\n")
+	p("# TYPE eclipse_gateway_hedges_total counter\n")
+	for _, k := range kinds {
+		p("eclipse_gateway_hedges_total{kind=%q} %d\n", k.String(), m.Hedges[k].Load())
+	}
+	p("# HELP eclipse_gateway_hedge_wins_total Requests answered first by the hedge attempt, by kind.\n")
+	p("# TYPE eclipse_gateway_hedge_wins_total counter\n")
+	for _, k := range kinds {
+		p("eclipse_gateway_hedge_wins_total{kind=%q} %d\n", k.String(), m.HedgeWins[k].Load())
+	}
+
+	p("# HELP eclipse_gateway_retries_total Retry attempts launched after safe failures.\n")
+	p("# TYPE eclipse_gateway_retries_total counter\n")
+	p("eclipse_gateway_retries_total %d\n", m.Retries.Load())
+	p("# HELP eclipse_gateway_ring_churn_total Backend state transitions (edits to the routable set).\n")
+	p("# TYPE eclipse_gateway_ring_churn_total counter\n")
+	p("eclipse_gateway_ring_churn_total %d\n", m.RingChurn.Load())
+	p("# HELP eclipse_gateway_no_backend_total Requests refused because no backend was routable.\n")
+	p("# TYPE eclipse_gateway_no_backend_total counter\n")
+	p("eclipse_gateway_no_backend_total %d\n", m.NoBackend.Load())
+	p("# HELP eclipse_gateway_mid_stream_errors_total Upstream connections that died after the response headers (returned as 502, never a partial body).\n")
+	p("# TYPE eclipse_gateway_mid_stream_errors_total counter\n")
+	p("eclipse_gateway_mid_stream_errors_total %d\n", m.MidStream.Load())
+	p("# HELP eclipse_gateway_pushback_passthrough_total 429/503 pushback responses relayed verbatim after retries were exhausted.\n")
+	p("# TYPE eclipse_gateway_pushback_passthrough_total counter\n")
+	p("eclipse_gateway_pushback_passthrough_total %d\n", m.Passthrough.Load())
+	p("# HELP eclipse_gateway_bytes_in_total Request payload bytes accepted.\n")
+	p("# TYPE eclipse_gateway_bytes_in_total counter\n")
+	p("eclipse_gateway_bytes_in_total %d\n", m.BytesIn.Load())
+	p("# HELP eclipse_gateway_bytes_out_total Response payload bytes sent.\n")
+	p("# TYPE eclipse_gateway_bytes_out_total counter\n")
+	p("eclipse_gateway_bytes_out_total %d\n", m.BytesOut.Load())
+
+	p("# HELP eclipse_gateway_backend_state Backend routability (1 = in the named state).\n")
+	p("# TYPE eclipse_gateway_backend_state gauge\n")
+	for _, b := range g.backends {
+		st := b.State()
+		for _, s := range []BackendState{StateDown, StateUp, StateDraining} {
+			v := 0
+			if st == s {
+				v = 1
+			}
+			p("eclipse_gateway_backend_state{backend=%q,state=%q} %d\n", b.name, s.String(), v)
+		}
+	}
+	for _, fam := range []struct {
+		name, help string
+		val        func(*Backend) uint64
+	}{
+		{"backend_requests_total", "Proxied attempts per backend.", func(b *Backend) uint64 { return b.requests.Load() }},
+		{"backend_errors_total", "Failed attempts per backend (transport errors and 5xx).", func(b *Backend) uint64 { return b.errors.Load() }},
+		{"backend_hedges_total", "Hedge attempts per backend.", func(b *Backend) uint64 { return b.hedges.Load() }},
+		{"backend_ejections_total", "Passive ejections (consecutive transport failures).", func(b *Backend) uint64 { return b.ejections.Load() }},
+		{"backend_drains_total", "Transitions into the draining state.", func(b *Backend) uint64 { return b.drains.Load() }},
+		{"backend_probe_failures_total", "Active health probes that failed.", func(b *Backend) uint64 { return b.probeFail.Load() }},
+	} {
+		p("# HELP eclipse_gateway_%s %s\n", fam.name, fam.help)
+		p("# TYPE eclipse_gateway_%s counter\n", fam.name)
+		for _, b := range g.backends {
+			p("eclipse_gateway_%s{backend=%q} %d\n", fam.name, b.name, fam.val(b))
+		}
+	}
+
+	p("# HELP eclipse_gateway_latency_seconds End-to-end request latency through the gateway (includes retries and hedge waits).\n")
+	p("# TYPE eclipse_gateway_latency_seconds histogram\n")
+	for _, k := range kinds {
+		snap := m.Latency[k].Snapshot()
+		var cum uint64
+		for i := range snap.Buckets {
+			cum += snap.Buckets[i]
+			le := float64(serve.BucketUpperUS(i)) / 1e6
+			p("eclipse_gateway_latency_seconds_bucket{kind=%q,le=%q} %d\n", k.String(), fmt.Sprintf("%g", le), cum)
+		}
+		p("eclipse_gateway_latency_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k.String(), snap.Count)
+		p("eclipse_gateway_latency_seconds_sum{kind=%q} %g\n", k.String(), float64(snap.SumNs)/1e9)
+		p("eclipse_gateway_latency_seconds_count{kind=%q} %d\n", k.String(), snap.Count)
+	}
+}
+
+// varz assembles the JSON status document.
+func (g *Gateway) varz() Snapshot {
+	m := g.met
+	ks := make([]KindSnapshot, 0, nKinds)
+	for _, k := range kinds {
+		ks = append(ks, KindSnapshot{
+			Kind:      k.String(),
+			Requests:  m.Requests[k].Load(),
+			Errors:    m.Errors[k].Load(),
+			Hedges:    m.Hedges[k].Load(),
+			HedgeWins: m.HedgeWins[k].Load(),
+			P50Ms:     ms(m.Latency[k].Quantile(0.50)),
+			P99Ms:     ms(m.Latency[k].Quantile(0.99)),
+			MeanMs:    ms(m.Latency[k].Mean()),
+			HedgeMs:   ms(g.hedgeDelay(k)),
+		})
+	}
+	bs := make([]BackendSnapshot, 0, len(g.backends))
+	for _, b := range g.backends {
+		bs = append(bs, b.Snapshot())
+	}
+	return Snapshot{
+		UptimeSec:   time.Since(m.Start).Seconds(),
+		Routable:    g.ring.routable(),
+		Backends:    bs,
+		Kinds:       ks,
+		RingChurn:   m.RingChurn.Load(),
+		Retries:     m.Retries.Load(),
+		NoBackend:   m.NoBackend.Load(),
+		MidStream:   m.MidStream.Load(),
+		Passthrough: m.Passthrough.Load(),
+		BytesIn:     m.BytesIn.Load(),
+		BytesOut:    m.BytesOut.Load(),
+	}
+}

@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"eclipse/internal/serve"
+)
+
+// The proxy path. One client request becomes 1..N upstream attempts:
+// the primary goes to the rendezvous-preferred backend; bounded retries
+// with jittered exponential backoff follow safe failures (connect
+// errors and 429/503 pushback — cases where the backend either never
+// saw the request or explicitly refused it); one hedge may be launched
+// at the next-preferred backend when the primary outlives the per-kind
+// p95. Whatever attempt finishes first with a decisive response is
+// relayed; the losers are cancelled. Upstream bodies are fully buffered
+// so a backend dying mid-response yields a clean 502, never a partial
+// body with a 200 status line.
+
+const (
+	// BackendHeader names the backend that served a proxied response.
+	BackendHeader = "X-Backend"
+	// HedgeWinHeader marks responses won by the hedge attempt.
+	HedgeWinHeader = "X-Hedge-Win"
+)
+
+// hopHeaders are connection-scoped and must not cross the proxy
+// (RFC 9110 §7.6.1). Content-Length is re-derived from the buffered
+// body; X-Timeout-Ms is rewritten to the remaining budget per attempt.
+var hopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Proxy-Connection":    true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+	"Content-Length":      true,
+	"X-Timeout-Ms":        true,
+}
+
+// attemptClass says what one upstream attempt produced.
+type attemptClass int
+
+const (
+	// classFinal: a decisive response (2xx/3xx/4xx except 429, or a
+	// non-pushback 5xx) — relay it verbatim, never retry. Retrying a
+	// plain 500 would duplicate work the backend already admitted.
+	classFinal attemptClass = iota
+	// classPushback: 429 or 503 — the backend refused before doing the
+	// work, so a retry elsewhere is safe. If retries run out the last
+	// pushback is relayed verbatim, Retry-After and all, so the
+	// scheduler's EWMA hint survives the gateway hop.
+	classPushback
+	// classTransport: no response at all (connect refused, reset before
+	// headers). The backend never saw the request; retry is safe.
+	classTransport
+	// classMidStream: headers arrived, then the body died. The work may
+	// have partially executed and the client must never see the partial
+	// payload: 502, no retry.
+	classMidStream
+	// classCancelled: this attempt lost a race we already decided (or
+	// the overall budget expired); its outcome is void.
+	classCancelled
+)
+
+// attemptResp is one upstream attempt's outcome.
+type attemptResp struct {
+	b      *Backend
+	class  attemptClass
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	hedge  bool
+}
+
+// handleMedia serves POST /v1/{decode,encode,transcode}.
+func (g *Gateway) handleMedia(w http.ResponseWriter, r *http.Request) {
+	kind, ok := kindOfPath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "cluster: reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The routing key is the backend's own content-address cache key,
+	// computed from the same bytes the backend will hash: affinity is
+	// exact, not approximate.
+	key, err := requestKey(kind, r, body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	var deadline time.Time
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		msv, perr := strconv.Atoi(h)
+		if perr != nil || msv <= 0 {
+			http.Error(w, fmt.Sprintf("cluster: bad X-Timeout-Ms %q", h), http.StatusBadRequest)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(msv)*time.Millisecond)
+		defer cancel()
+		deadline, _ = ctx.Deadline()
+	}
+
+	g.met.Requests[kind].Add(1)
+	g.met.BytesIn.Add(uint64(len(body)))
+	start := time.Now()
+	g.do(ctx, w, r, kind, key, body, deadline)
+	g.met.Latency[kind].Observe(time.Since(start))
+}
+
+// do orchestrates the attempts for one request and writes the response.
+func (g *Gateway) do(ctx context.Context, w http.ResponseWriter, r *http.Request,
+	kind serve.Kind, key serve.CacheKey, body []byte, deadline time.Time) {
+
+	order := g.ring.order(key)
+	if len(order) == 0 {
+		g.met.NoBackend.Add(1)
+		w.Header().Set("Retry-After", "1")
+		g.writeError(w, kind, http.StatusServiceUnavailable, "cluster: no routable backend")
+		return
+	}
+
+	maxAttempts := 1 + g.cfg.MaxRetries + 1 // primary + retries + hedge
+	// Buffered to capacity: a cancelled loser can always deliver its
+	// result and exit, even after do has returned. No goroutine leaks.
+	results := make(chan *attemptResp, maxAttempts)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	next := 0     // cursor into the preference order (wraps)
+	inflight := 0 // attempts whose outcome is still pending
+	launch := func(hedge bool) {
+		b := order[next%len(order)]
+		for i := 0; i < len(order); i++ {
+			if cand := order[(next+i)%len(order)]; cand.Routable() {
+				b = cand
+				next += i
+				break
+			}
+		}
+		next++
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		inflight++
+		b.requests.Add(1)
+		if hedge {
+			b.hedges.Add(1)
+		}
+		go g.attempt(actx, results, b, kind, r, body, deadline, hedge)
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if !g.cfg.HedgeDisabled && len(order) > 1 {
+		ht := time.NewTimer(g.hedgeDelay(kind))
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	var retryTimer *time.Timer
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+	var retryC <-chan time.Time
+
+	retries := 0
+	var lastPush *attemptResp
+	var lastErr error
+
+	scheduleRetry := func() bool {
+		if retries >= g.cfg.MaxRetries {
+			return false
+		}
+		retries++
+		g.met.Retries.Add(1)
+		d := g.cfg.RetryBase << (retries - 1)
+		if d > g.cfg.RetryMax {
+			d = g.cfg.RetryMax
+		}
+		// ±50% jitter decorrelates retry bursts across clients.
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		retryTimer = time.NewTimer(d)
+		retryC = retryTimer.C
+		return true
+	}
+
+	// finish relays the terminal outcome once every avenue is spent.
+	finish := func() {
+		if lastPush != nil {
+			// The satellite guarantee: the last pushback response —
+			// including the scheduler's EWMA Retry-After — crosses the
+			// gateway verbatim.
+			g.met.Passthrough.Add(1)
+			g.writeResponse(w, kind, lastPush)
+			return
+		}
+		msg := "cluster: all upstream attempts failed"
+		if lastErr != nil {
+			msg += ": " + lastErr.Error()
+		}
+		g.writeError(w, kind, http.StatusBadGateway, msg)
+	}
+	budgetDone := func() {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			g.writeError(w, kind, http.StatusGatewayTimeout, "cluster: timeout budget exhausted")
+		} else {
+			// Client went away; 499 in the nginx tradition. Nobody is
+			// reading, but the metrics row should say what happened.
+			g.writeError(w, kind, 499, "client closed request")
+		}
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			budgetDone()
+			return
+
+		case <-hedgeC:
+			hedgeC = nil
+			// Hedge only while the primary is still pending and there is
+			// a second node to hedge to.
+			if inflight > 0 && g.ring.routable() >= 2 {
+				g.met.Hedges[kind].Add(1)
+				launch(true)
+			}
+
+		case <-retryC:
+			retryC = nil
+			retryTimer = nil
+			launch(false)
+
+		case res := <-results:
+			inflight--
+			switch res.class {
+			case classCancelled:
+				if inflight == 0 && retryC == nil {
+					if ctx.Err() != nil {
+						budgetDone()
+					} else {
+						finish()
+					}
+					return
+				}
+
+			case classFinal:
+				if res.hedge {
+					g.met.HedgeWins[kind].Add(1)
+				}
+				g.writeResponse(w, kind, res)
+				return
+
+			case classMidStream:
+				g.met.MidStream.Add(1)
+				g.writeError(w, kind, http.StatusBadGateway,
+					"cluster: upstream failed mid-response: "+res.err.Error())
+				return
+
+			case classPushback, classTransport:
+				if res.class == classPushback {
+					lastPush = res
+				} else {
+					lastErr = res.err
+				}
+				if retryC == nil && !scheduleRetry() && inflight == 0 {
+					finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+// attempt runs one upstream try and accounts its passive health signal.
+func (g *Gateway) attempt(ctx context.Context, results chan<- *attemptResp, b *Backend,
+	kind serve.Kind, r *http.Request, body []byte, deadline time.Time, hedge bool) {
+
+	res := g.roundTrip(ctx, b, kind, r, body, deadline)
+	res.hedge = hedge
+	switch res.class {
+	case classFinal:
+		if res.status < http.StatusInternalServerError {
+			g.passiveSuccess(b)
+		} else {
+			b.errors.Add(1)
+			g.passiveFailure(b)
+		}
+	case classPushback:
+		// Load pushback is not node death: never ejects. But a draining
+		// marker pulls the backend out of the ring immediately.
+		if res.header.Get(serve.DrainingHeader) != "" {
+			g.passiveDraining(b)
+		}
+	case classTransport, classMidStream:
+		b.errors.Add(1)
+		g.passiveFailure(b)
+	}
+	results <- res
+}
+
+// roundTrip performs the HTTP exchange for one attempt, fully buffering
+// the upstream body, and classifies the outcome.
+func (g *Gateway) roundTrip(ctx context.Context, b *Backend, kind serve.Kind,
+	r *http.Request, body []byte, deadline time.Time) *attemptResp {
+
+	res := &attemptResp{b: b}
+	u := *b.url
+	u.Path = b.url.Path + r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(body))
+	if err != nil {
+		res.class, res.err = classTransport, err
+		return res
+	}
+	for k, vv := range r.Header {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		req.Header[k] = vv
+	}
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline).Milliseconds()
+		if remaining < 1 {
+			remaining = 1
+		}
+		req.Header.Set("X-Timeout-Ms", strconv.FormatInt(remaining, 10))
+	}
+
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			res.class, res.err = classCancelled, ctx.Err()
+		} else {
+			res.class, res.err = classTransport, fmt.Errorf("%s: %v", b.name, err)
+		}
+		return res
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			res.class, res.err = classCancelled, ctx.Err()
+			return res
+		}
+		res.class, res.err = classMidStream, fmt.Errorf("%s: %v", b.name, err)
+		return res
+	}
+
+	res.status = resp.StatusCode
+	res.header = resp.Header
+	res.body = buf
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		res.class = classPushback
+		return res
+	}
+	res.class = classFinal
+	if resp.StatusCode < http.StatusMultipleChoices {
+		// Successful attempts only: this is the distribution the hedge
+		// trigger reads, kept clean of the tails hedging truncates.
+		g.met.AttemptLat[kind].Observe(time.Since(start))
+	}
+	return res
+}
+
+// writeResponse relays an upstream response to the client verbatim,
+// minus hop-by-hop headers, plus the gateway's provenance headers.
+func (g *Gateway) writeResponse(w http.ResponseWriter, kind serve.Kind, res *attemptResp) {
+	h := w.Header()
+	for k, vv := range res.header {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vv {
+			h.Add(k, v)
+		}
+	}
+	h.Set(BackendHeader, res.b.name)
+	if res.hedge {
+		h.Set(HedgeWinHeader, "1")
+	}
+	h.Set("Content-Length", strconv.Itoa(len(res.body)))
+	if res.status >= http.StatusBadRequest {
+		g.met.Errors[kind].Add(1)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+	g.met.BytesOut.Add(uint64(len(res.body)))
+}
+
+// writeError emits a gateway-originated error.
+func (g *Gateway) writeError(w http.ResponseWriter, kind serve.Kind, code int, msg string) {
+	g.met.Errors[kind].Add(1)
+	http.Error(w, msg, code)
+}
+
+// kindOfPath maps the request path to a job kind.
+func kindOfPath(path string) (serve.Kind, bool) {
+	switch path {
+	case "/v1/decode":
+		return serve.KindDecode, true
+	case "/v1/encode":
+		return serve.KindEncode, true
+	case "/v1/transcode":
+		return serve.KindTranscode, true
+	}
+	return 0, false
+}
+
+// requestKey computes the backend's content-address cache key for the
+// request — the routing key that makes cache affinity cluster-wide.
+func requestKey(kind serve.Kind, r *http.Request, body []byte) (serve.CacheKey, error) {
+	switch kind {
+	case serve.KindEncode:
+		cfg, err := serve.EncodeConfigFromQuery(r.URL.Query())
+		if err != nil {
+			return serve.CacheKey{}, err
+		}
+		return serve.EncodeKey(cfg, body), nil
+	case serve.KindTranscode:
+		qs := r.URL.Query().Get("q")
+		if qs == "" {
+			return serve.CacheKey{}, fmt.Errorf("cluster: transcode requires the q query parameter")
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil {
+			return serve.CacheKey{}, fmt.Errorf("cluster: bad q=%q", qs)
+		}
+		return serve.TranscodeKey(q, body), nil
+	default:
+		return serve.DecodeKey(body), nil
+	}
+}

@@ -1,0 +1,84 @@
+// Package cluster is the gateway tier: a reverse proxy that pools N
+// eclipse-serve backends behind the single-node request interface. It
+// is the software analogue of the Eclipse communication shell scaled to
+// a fleet — placement, arbitration, and failure are hidden behind the
+// same POST /v1/{decode,encode,transcode} surface the backends expose:
+//
+//   - routing ⇔ shell arbitration: rendezvous (HRW) hashing on the
+//     content-address cache key picks the backend whose LRU already
+//     holds the result, so the PR 6 singleflight storm-collapse
+//     guarantee extends cluster-wide (identical requests converge on
+//     one node, which admits exactly one decode);
+//   - hedging ⇔ the shell's secondary port: when the preferred backend
+//     stalls past the per-kind p95, the request is duplicated to the
+//     next-preferred node and the first answer wins;
+//   - drain ⇔ task-table eviction: a backend announcing
+//     X-Eclipse-Draining is removed from the routable set before its
+//     listener closes, and membership churn re-arbitrates its key range
+//     (the mode-transition cost of rebalancing).
+//
+// See DESIGN.md §11 for the full mapping.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"eclipse/internal/serve"
+)
+
+// ring orders backends by rendezvous (highest-random-weight) hashing:
+// every (backend, key) pair gets an independent pseudo-random score and
+// a key routes to the highest-scoring routable backend. Unlike a mod-N
+// hash, removing one backend remaps only the keys that scored highest
+// on it — the rest of the cluster's cache residency survives membership
+// churn untouched.
+type ring struct {
+	backends []*Backend
+}
+
+// hrwScore is the weight of backend name for the given key.
+func hrwScore(name string, key serve.CacheKey) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write(key[:])
+	return h.Sum64()
+}
+
+// order returns the routable backends in preference order for the key:
+// highest HRW score first, ties broken by name so the order is total.
+// An empty result means no backend is currently routable.
+func (r ring) order(key serve.CacheKey) []*Backend {
+	type scored struct {
+		b *Backend
+		s uint64
+	}
+	eligible := make([]scored, 0, len(r.backends))
+	for _, b := range r.backends {
+		if b.Routable() {
+			eligible = append(eligible, scored{b, hrwScore(b.name, key)})
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].s != eligible[j].s {
+			return eligible[i].s > eligible[j].s
+		}
+		return eligible[i].b.name < eligible[j].b.name
+	})
+	out := make([]*Backend, len(eligible))
+	for i, e := range eligible {
+		out[i] = e.b
+	}
+	return out
+}
+
+// routable counts backends currently accepting traffic.
+func (r ring) routable() int {
+	n := 0
+	for _, b := range r.backends {
+		if b.Routable() {
+			n++
+		}
+	}
+	return n
+}

@@ -27,31 +27,31 @@ func TestCacheKeyDistinct(t *testing.T) {
 		}
 		keys[k] = name
 	}
-	add("decode", decodeCacheKey(stream))
-	add("decode-other-stream", decodeCacheKey([]byte("fake-bitstream-bytes2")))
-	add("transcode-q4", transcodeCacheKey(4, stream))
-	add("transcode-q5", transcodeCacheKey(5, stream))
-	add("encode", encodeCacheKey(cfg, stream))
+	add("decode", DecodeKey(stream))
+	add("decode-other-stream", DecodeKey([]byte("fake-bitstream-bytes2")))
+	add("transcode-q4", TranscodeKey(4, stream))
+	add("transcode-q5", TranscodeKey(5, stream))
+	add("encode", EncodeKey(cfg, stream))
 	cq := cfg
 	cq.Q++
-	add("encode-q", encodeCacheKey(cq, stream))
+	add("encode-q", EncodeKey(cq, stream))
 	ch := cfg
 	ch.HalfPel = !ch.HalfPel
-	add("encode-halfpel", encodeCacheKey(ch, stream))
+	add("encode-halfpel", EncodeKey(ch, stream))
 	cg := cfg
 	cg.GOPM++
-	add("encode-gopm", encodeCacheKey(cg, stream))
+	add("encode-gopm", EncodeKey(cg, stream))
 
-	if decodeCacheKey(stream) != decodeCacheKey(append([]byte(nil), stream...)) {
+	if DecodeKey(stream) != DecodeKey(append([]byte(nil), stream...)) {
 		t.Fatal("identical inputs must produce identical keys")
 	}
 	// Worker counts must not affect the key: output is bit-identical
 	// across engine widths, so tenants on different engines share entries.
 	old := media.EncodeWorkers
 	media.EncodeWorkers = 7
-	k7 := encodeCacheKey(cfg, stream)
+	k7 := EncodeKey(cfg, stream)
 	media.EncodeWorkers = old
-	if encodeCacheKey(cfg, stream) != k7 {
+	if EncodeKey(cfg, stream) != k7 {
 		t.Fatal("worker count leaked into the cache key")
 	}
 }
@@ -59,7 +59,7 @@ func TestCacheKeyDistinct(t *testing.T) {
 // TestETagMatches covers the If-None-Match grammar against the key's
 // strong tag.
 func TestETagMatches(t *testing.T) {
-	k := decodeCacheKey([]byte("x"))
+	k := DecodeKey([]byte("x"))
 	for _, tc := range []struct {
 		header string
 		want   bool
@@ -82,7 +82,7 @@ func TestETagMatches(t *testing.T) {
 func shardKeys(c *Cache, shard, n int) []CacheKey {
 	var out []CacheKey
 	for i := 0; len(out) < n; i++ {
-		k := decodeCacheKey([]byte(fmt.Sprintf("key-%d", i)))
+		k := DecodeKey([]byte(fmt.Sprintf("key-%d", i)))
 		if int(k[0])&(cacheShardCount-1) == shard {
 			out = append(out, k)
 		}
@@ -147,7 +147,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // through a shard wipe.
 func TestCacheTooLarge(t *testing.T) {
 	c := NewCache(cacheShardCount * 1024)
-	k := decodeCacheKey([]byte("big"))
+	k := DecodeKey([]byte("big"))
 	c.put(k, "a", Result{Body: make([]byte, 4096)})
 	if _, ok := c.lookup(k, "a", false); ok {
 		t.Fatal("oversized entry was cached")
@@ -202,7 +202,7 @@ func (c *Cache) flightWaiters(key CacheKey, n int) bool {
 func TestCacheStormSingleRun(t *testing.T) {
 	const n = 64
 	c := NewCache(1 << 20)
-	key := decodeCacheKey([]byte("storm"))
+	key := DecodeKey([]byte("storm"))
 	want := bytes.Repeat([]byte{0xAB}, 4096)
 	var runs atomic.Int32
 	var wg sync.WaitGroup
@@ -249,7 +249,7 @@ func TestCacheStormSingleRun(t *testing.T) {
 func TestCacheLeaderFailurePromotion(t *testing.T) {
 	const n = 8
 	c := NewCache(1 << 20)
-	key := decodeCacheKey([]byte("promote"))
+	key := DecodeKey([]byte("promote"))
 	want := []byte("recovered")
 	var runs atomic.Int32
 	run := func() (Result, error) {
@@ -303,7 +303,7 @@ func TestCacheLeaderFailurePromotion(t *testing.T) {
 func TestCacheDeterministicErrorBroadcast(t *testing.T) {
 	const n = 8
 	c := NewCache(1 << 20)
-	key := decodeCacheKey([]byte("bad"))
+	key := DecodeKey([]byte("bad"))
 	wantErr := fmt.Errorf("parse: %w", media.ErrBitstream)
 	var runs atomic.Int32
 	run := func() (Result, error) {
@@ -341,7 +341,7 @@ func TestCacheDeterministicErrorBroadcast(t *testing.T) {
 // of a leaderless flight retires it.
 func TestCacheFollowerContextDeath(t *testing.T) {
 	c := NewCache(1 << 20)
-	key := decodeCacheKey([]byte("leave"))
+	key := DecodeKey([]byte("leave"))
 	ctx, cancel := context.WithCancel(context.Background())
 	release := make(chan struct{})
 	var wg sync.WaitGroup
@@ -399,7 +399,7 @@ func TestCacheEvictionAliasingStress(t *testing.T) {
 	c := NewCache(int64(cacheShardCount * 3 * (bodyLen + entryOverhead)))
 	keyOf := make([]CacheKey, nKeys)
 	for i := range keyOf {
-		keyOf[i] = decodeCacheKey([]byte(fmt.Sprintf("stress-%d", i)))
+		keyOf[i] = DecodeKey([]byte(fmt.Sprintf("stress-%d", i)))
 	}
 	bodyOf := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, bodyLen) }
 

@@ -88,23 +88,25 @@ func computeCacheKey(kind Kind, params []keyParam, payload []byte) CacheKey {
 	return k
 }
 
-// decodeCacheKey addresses a decode response: output depends only on
-// the bitstream.
-func decodeCacheKey(stream []byte) CacheKey {
+// DecodeKey addresses a decode response: output depends only on the
+// bitstream. Exported because the gateway tier routes by the same
+// content address the cache stores under — identical requests land on
+// the backend whose LRU already holds the result (internal/cluster).
+func DecodeKey(stream []byte) CacheKey {
 	return computeCacheKey(KindDecode, nil, stream)
 }
 
-// transcodeCacheKey addresses a transcode response: the bitstream plus
-// the target quantizer (GOP structure and dimensions are inherited from
+// TranscodeKey addresses a transcode response: the bitstream plus the
+// target quantizer (GOP structure and dimensions are inherited from
 // the stream itself, so they are already covered by the payload).
-func transcodeCacheKey(q int, stream []byte) CacheKey {
+func TranscodeKey(q int, stream []byte) CacheKey {
 	return computeCacheKey(KindTranscode, []keyParam{{"q", uint64(int64(q))}}, stream)
 }
 
-// encodeCacheKey addresses an encode response: the raw planes plus
-// every codec parameter that shapes the bitstream. EncodeWorkers is
-// excluded — the two-phase encoder emits the same bits for any count.
-func encodeCacheKey(cfg media.CodecConfig, raw []byte) CacheKey {
+// EncodeKey addresses an encode response: the raw planes plus every
+// codec parameter that shapes the bitstream. EncodeWorkers is excluded
+// — the two-phase encoder emits the same bits for any count.
+func EncodeKey(cfg media.CodecConfig, raw []byte) CacheKey {
 	b := uint64(0)
 	if cfg.HalfPel {
 		b = 1

@@ -471,6 +471,16 @@ func TestHTTPObservability(t *testing.T) {
 	if body := readAll(t, hz); hz.StatusCode != 200 || !strings.Contains(string(body), "running") {
 		t.Fatalf("healthz: %d %q", hz.StatusCode, body)
 	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, rz); rz.StatusCode != 200 || !strings.Contains(string(body), "running") {
+		t.Fatalf("readyz: %d %q", rz.StatusCode, body)
+	}
+	if rz.Header.Get(DrainingHeader) != "" {
+		t.Fatalf("running readyz must not carry %s", DrainingHeader)
+	}
 
 	vz, err := http.Get(ts.URL + "/varz")
 	if err != nil {
@@ -512,18 +522,40 @@ func TestHTTPObservability(t *testing.T) {
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	// Liveness stays 200 through (and past) the drain; readiness flips to
+	// 503 with the draining marker so a gateway stops routing here.
 	hz2, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	readAll(t, hz2)
-	if hz2.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz after shutdown: %d, want 503", hz2.StatusCode)
+	if hz2.StatusCode != 200 {
+		t.Fatalf("healthz after shutdown: %d, want 200 (liveness, not readiness)", hz2.StatusCode)
+	}
+	rz2, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, rz2)
+	if rz2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: %d, want 503", rz2.StatusCode)
+	}
+	if rz2.Header.Get(DrainingHeader) != "1" {
+		t.Fatalf("draining readyz must carry %s: 1, got %q", DrainingHeader, rz2.Header.Get(DrainingHeader))
+	}
+	if rz2.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz must carry Retry-After")
 	}
 	resp = post(t, ts.URL+"/v1/decode", "alice", stream, nil)
 	readAll(t, resp)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("decode after shutdown: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(DrainingHeader) != "1" {
+		t.Fatalf("draining 503 must carry %s: 1", DrainingHeader)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 must carry Retry-After")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -43,6 +44,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/encode", s.handleEncode)
 	s.mux.HandleFunc("POST /v1/transcode", s.handleTranscode)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -124,6 +126,12 @@ func (s *Server) runJob(ctx context.Context, j *Job) (Result, error) {
 	return j.Result()
 }
 
+// DrainingHeader marks 503 responses emitted because the server is
+// draining, so a gateway can distinguish "going away soon, reroute me"
+// from a plain overload and stop routing here before the listener
+// closes.
+const DrainingHeader = "X-Eclipse-Draining"
+
 // writeJobError maps a job failure to its HTTP status.
 func writeJobError(w http.ResponseWriter, err error) {
 	var qf *QueueFullError
@@ -132,6 +140,8 @@ func writeJobError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Seconds())))
 		httpError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
+		w.Header().Set(DrainingHeader, "1")
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, err)
@@ -244,13 +254,15 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.dispatch(w, r, ctx, tenant, decodeCacheKey(body), j)
+	s.dispatch(w, r, ctx, tenant, DecodeKey(body), j)
 }
 
-// encodeConfig parses the encode query parameters into a codec config.
-// Unset parameters fall back to the codec defaults for the given size.
-func encodeConfig(r *http.Request) (media.CodecConfig, error) {
-	q := r.URL.Query()
+// EncodeConfigFromQuery parses the encode query parameters into a codec
+// config. Unset parameters fall back to the codec defaults for the
+// given size. Exported because the gateway tier must derive the exact
+// same canonical config (and therefore the same content-address routing
+// key) that the backend will cache under.
+func EncodeConfigFromQuery(q url.Values) (media.CodecConfig, error) {
 	geti := func(key string, def int) (int, error) {
 		v := q.Get(key)
 		if v == "" {
@@ -305,7 +317,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	cfg, err := encodeConfig(r)
+	cfg, err := EncodeConfigFromQuery(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -321,7 +333,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.dispatch(w, r, ctx, tenant, encodeCacheKey(cfg, body), j)
+	s.dispatch(w, r, ctx, tenant, EncodeKey(cfg, body), j)
 }
 
 // handleTranscode serves POST /v1/transcode?q=: body is an ECL1
@@ -356,14 +368,24 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.dispatch(w, r, ctx, tenant, transcodeCacheKey(q, body), j)
+	s.dispatch(w, r, ctx, tenant, TranscodeKey(q, body), j)
 }
 
-// handleHealthz reports readiness: 200 while running, 503 once draining
-// (load balancers stop routing here during graceful shutdown).
+// handleHealthz reports liveness: 200 as long as the process can answer
+// at all, even while draining. Restart-or-not decisions key off this;
+// routing decisions key off /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "alive (%s)\n", s.sched.StateString())
+}
+
+// handleReadyz reports readiness: 200 while the scheduler admits work,
+// 503 with the X-Eclipse-Draining marker once Drain begins — so a
+// gateway stops routing here before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	state := s.sched.StateString()
 	if state != "running" {
+		w.Header().Set(DrainingHeader, "1")
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	fmt.Fprintln(w, state)
