@@ -36,7 +36,7 @@ GO ?= go
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media bench-transcode bench-gop perf bench-baseline benchcmp
+.PHONY: check lint vet build test race fuzz-smoke bench-smoke bench bench-media bench-transcode bench-gop bench-gateway bench-gateway-cache perf bench-baseline benchcmp
 
 check: vet build test race
 
@@ -107,6 +107,16 @@ bench-gop:
 bench-gateway:
 	$(GO) run ./cmd/eclipse-bench gateway
 
+# bench-gateway-cache stands up 3 backends behind a simulated 5ms
+# network gap and records the gateway_l1_* trajectory fields: warm L1
+# hit p50/p99 vs the proxied two-hop warm hit, the hit rate, the
+# revalidation (If-None-Match/304) count, and the backend request
+# counts for the hit pass (must be 0) and a 32-way same-key storm
+# (must be exactly 1). Hard-fails unless the warm L1 hit p50 is >=10x
+# faster than the proxied warm-hit p50.
+bench-gateway-cache:
+	$(GO) run ./cmd/eclipse-bench gatewaycache pr10-gateway-l1
+
 perf:
 	$(GO) run ./cmd/eclipse-bench kernel
 	$(GO) run ./cmd/eclipse-bench shell
@@ -114,6 +124,7 @@ perf:
 	$(GO) run ./cmd/eclipse-bench loadgen
 	$(GO) run ./cmd/eclipse-bench gop
 	$(GO) run ./cmd/eclipse-bench gateway
+	$(GO) run ./cmd/eclipse-bench gatewaycache pr10-gateway-l1
 
 bench-baseline:
 	$(GO) test -run=NONE -bench=. -benchmem -count=5 ./... | tee $(BENCH_BASELINE)

@@ -1,0 +1,339 @@
+package main
+
+// Gateway L1 edge-cache benchmark: `eclipse-bench gatewaycache
+// [entry-id [path]]` stands up 3 in-process eclipse-serve backends
+// behind the internal/cluster gateway and records the gateway_l1_*
+// trajectory fields of BENCH_kernel.json.
+//
+// Every backend is wrapped with a fixed 5ms sleep per media request —
+// the simulated network RTT between an edge gateway and its backend
+// fleet. That is the cost the L1 exists to avoid: a warm L1 hit is
+// answered from gateway memory without crossing that gap. Hedging is
+// disabled on every gateway so the cache is the only variable.
+//
+// Five phases, each byte-verified against the offline codec:
+//
+//	proxied  L1 off, backend L2 warm — the two-hop baseline (every
+//	         request pays the RTT plus a backend cache hit)
+//	hit      L1 on, catalog resident — warm hits from gateway memory;
+//	         the backend must see zero requests during this pass
+//	storm    32 concurrent requests for one cold key — the gateway
+//	         singleflight must cost the fleet exactly one round-trip
+//	reval    a gateway with a 40ms L1 TTL — the stale re-request must
+//	         refresh via If-None-Match/304 without a body transfer
+//	death    a backend that aborts mid-body — the buffered proxy must
+//	         answer 502 with zero partial payload bytes relayed
+//
+// The run hard-fails unless the warm L1 hit p50 is >= 10x faster than
+// the proxied warm-hit p50 and the storm reached the backend exactly
+// once.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eclipse/internal/cluster"
+	"eclipse/internal/media"
+	"eclipse/internal/serve"
+)
+
+func gatewayCacheBench() {
+	id := "pr10-gateway-l1"
+	path := kernelBenchPath
+	if len(os.Args) > 2 {
+		id = os.Args[2]
+	}
+	if len(os.Args) > 3 {
+		path = os.Args[3]
+	}
+	header("Gateway L1 edge cache bench -> " + path)
+
+	const (
+		nBackends  = 3
+		nStreams   = 8
+		hitReps    = 25 // measured requests per stream per pass
+		stormWidth = 32
+		backendRTT = 5 * time.Millisecond // simulated gateway<->backend network gap
+	)
+
+	// Catalog with offline truth.
+	cat := make([]gwStream, nStreams)
+	for i := range cat {
+		stream := workload(96, 80, 8, 6, int64(i+1))
+		ref, err := media.Decode(stream)
+		if err != nil {
+			fail(err)
+		}
+		var raw []byte
+		for _, f := range ref.DisplayFrames() {
+			raw = append(raw, f.Pix...)
+		}
+		cat[i] = gwStream{stream: stream, wantRaw: raw}
+	}
+
+	// Backends, each behind the simulated RTT and a shared media-request
+	// counter — the ground truth for "how many requests reached the
+	// fleet".
+	var backendReqs atomic.Int64
+	srvs := make([]*serve.Server, nBackends)
+	tss := make([]*httptest.Server, nBackends)
+	addrs := make([]string, nBackends)
+	for i := 0; i < nBackends; i++ {
+		srvs[i] = serve.New(serve.Config{Workers: 2, BaseSlice: 2 * time.Millisecond, QueueCap: 64})
+		inner := srvs[i].Handler()
+		tss[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				backendReqs.Add(1)
+				time.Sleep(backendRTT)
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		addrs[i] = tss[i].Listener.Addr().String()
+	}
+	defer func() {
+		for i := range tss {
+			tss[i].Close()
+		}
+	}()
+
+	newGW := func(l1Bytes int64, l1TTL time.Duration) (*cluster.Gateway, *httptest.Server) {
+		gw, err := cluster.New(cluster.Config{
+			Backends:      addrs,
+			ProbeInterval: 20 * time.Millisecond,
+			Rise:          2,
+			Fall:          2,
+			MaxRetries:    2,
+			RetryBase:     2 * time.Millisecond,
+			HedgeDisabled: true,
+			L1Bytes:       l1Bytes,
+			L1TTL:         l1TTL,
+		})
+		if err != nil {
+			fail(err)
+		}
+		gw.Start()
+		ts := httptest.NewServer(gw.Handler())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := gw.WaitReady(ctx, nBackends); err != nil {
+			fail(err)
+		}
+		return gw, ts
+	}
+	gwOff, tsOff := newGW(0, 0)
+	gwOn, tsOn := newGW(128<<20, 5*time.Minute)
+	defer func() { tsOff.Close(); gwOff.Stop(); tsOn.Close(); gwOn.Stop() }()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	post := func(url string, s gwStream) (time.Duration, []byte, http.Header) {
+		start := time.Now()
+		resp, err := client.Post(url+"/v1/decode", "application/octet-stream", bytes.NewReader(s.stream))
+		if err != nil {
+			fail(err)
+		}
+		el := time.Since(start)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fail(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("gatewaycache bench: status %d from %s: %s",
+				resp.StatusCode, resp.Header.Get(cluster.BackendHeader), body))
+		}
+		if !bytes.Equal(body, s.wantRaw) {
+			fail(fmt.Errorf("gatewaycache bench: response differs from offline codec (X-Cache %q)",
+				resp.Header.Get(cluster.CacheHeader)))
+		}
+		return el, body, resp.Header
+	}
+
+	// Phase 1: proxied baseline. One warm round fills the backends' own
+	// result caches, then every measured request is a two-hop warm hit.
+	for _, s := range cat {
+		post(tsOff.URL, s)
+	}
+	proxied := make([]time.Duration, 0, hitReps*nStreams)
+	for r := 0; r < hitReps; r++ {
+		for _, s := range cat {
+			d, _, _ := post(tsOff.URL, s)
+			proxied = append(proxied, d)
+		}
+	}
+
+	// Phase 2: L1 on. One fill round makes the catalog resident; the
+	// measured rounds must be answered from gateway memory — byte-equal
+	// to the L1-off responses and invisible to the backends.
+	for _, s := range cat {
+		post(tsOn.URL, s)
+	}
+	reqsBefore := backendReqs.Load()
+	hits := make([]time.Duration, 0, hitReps*nStreams)
+	for r := 0; r < hitReps; r++ {
+		for _, s := range cat {
+			d, _, h := post(tsOn.URL, s)
+			hits = append(hits, d)
+			if xc := h.Get(cluster.CacheHeader); xc != cluster.XCacheL1Hit {
+				fail(fmt.Errorf("gatewaycache bench: warm pass X-Cache %q, want %q", xc, cluster.XCacheL1Hit))
+			}
+		}
+	}
+	hitPassBackendReqs := backendReqs.Load() - reqsBefore
+
+	m := gwOn.Metrics()
+	l1Hits, l1Misses := m.L1Hits.Load(), m.L1Misses.Load()
+	hitRate := float64(l1Hits) / float64(l1Hits+l1Misses)
+
+	// Phase 3: 32-way storm on a cold key — exactly one backend
+	// round-trip for the whole burst.
+	cold := gwStream{stream: workload(96, 80, 8, 6, 100)}
+	ref, err := media.Decode(cold.stream)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range ref.DisplayFrames() {
+		cold.wantRaw = append(cold.wantRaw, f.Pix...)
+	}
+	reqsBefore = backendReqs.Load()
+	var wg sync.WaitGroup
+	for i := 0; i < stormWidth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(tsOn.URL, cold)
+		}()
+	}
+	wg.Wait()
+	stormReqs := backendReqs.Load() - reqsBefore
+
+	// Phase 4: revalidation. A 40ms-TTL gateway re-requests a stale key;
+	// the refresh must ride a 304 (no body crosses the gap).
+	gwReval, tsReval := newGW(128<<20, 40*time.Millisecond)
+	defer func() { tsReval.Close(); gwReval.Stop() }()
+	post(tsReval.URL, cat[0])
+	time.Sleep(120 * time.Millisecond)
+	_, _, h := post(tsReval.URL, cat[0])
+	if xc := h.Get(cluster.CacheHeader); xc != cluster.XCacheL1Revalidated {
+		fail(fmt.Errorf("gatewaycache bench: stale re-request X-Cache %q, want %q", xc, cluster.XCacheL1Revalidated))
+	}
+	revals := gwReval.Metrics().L1Revalidations.Load()
+
+	// Phase 5: mid-stream backend death. The buffered proxy must answer
+	// a clean 502 with zero partial payload bytes relayed.
+	deadMux := http.NewServeMux()
+	deadMux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {})
+	deadMux.HandleFunc("POST /v1/decode", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Length", "1048576")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial-payload"))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	})
+	deadTS := httptest.NewServer(deadMux)
+	defer deadTS.Close()
+	gwDead, err := cluster.New(cluster.Config{
+		Backends:      []string{deadTS.Listener.Addr().String()},
+		ProbeInterval: 20 * time.Millisecond,
+		Rise:          2,
+		Fall:          2,
+		MaxRetries:    1,
+		RetryBase:     2 * time.Millisecond,
+		HedgeDisabled: true,
+		L1Bytes:       128 << 20,
+	})
+	if err != nil {
+		fail(err)
+	}
+	gwDead.Start()
+	tsDead := httptest.NewServer(gwDead.Handler())
+	defer func() { tsDead.Close(); gwDead.Stop() }()
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := gwDead.WaitReady(ctx, 1)
+		cancel()
+		if err != nil {
+			fail(err)
+		}
+	}
+	resp, err := client.Post(tsDead.URL+"/v1/decode", "application/octet-stream", bytes.NewReader(cat[0].stream))
+	if err != nil {
+		fail(err)
+	}
+	deadBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		fail(fmt.Errorf("gatewaycache bench: mid-stream death status %d, want 502", resp.StatusCode))
+	}
+	if bytes.Contains(deadBody, []byte("partial-payload")) {
+		fail(fmt.Errorf("gatewaycache bench: partial payload bytes leaked through a 502"))
+	}
+
+	entry := kernelBenchEntry{
+		GatewayL1HitRate:          hitRate,
+		GatewayL1HitP50Ms:         durQuantileMs(hits, 0.50),
+		GatewayL1HitP99Ms:         durQuantileMs(hits, 0.99),
+		GatewayL1ProxiedP50Ms:     durQuantileMs(proxied, 0.50),
+		GatewayL1ProxiedP99Ms:     durQuantileMs(proxied, 0.99),
+		GatewayL1Revalidations:    revals,
+		GatewayL1BackendReqs:      uint64(hitPassBackendReqs),
+		GatewayL1StormWidth:       stormWidth,
+		GatewayL1StormBackendReqs: uint64(stormReqs),
+	}
+	entry.GatewayL1Speedup = entry.GatewayL1ProxiedP50Ms / entry.GatewayL1HitP50Ms
+
+	fmt.Printf("  proxied:  p50 %6.3f ms  p99 %7.3f ms  (L1 off, backend L2 warm, %s simulated RTT)\n",
+		entry.GatewayL1ProxiedP50Ms, entry.GatewayL1ProxiedP99Ms, backendRTT)
+	fmt.Printf("  l1 hit:   p50 %6.3f ms  p99 %7.3f ms  (%.1fx faster; %d backend requests during %d hits)\n",
+		entry.GatewayL1HitP50Ms, entry.GatewayL1HitP99Ms, entry.GatewayL1Speedup, hitPassBackendReqs, len(hits))
+	fmt.Printf("  hit rate: %5.1f%% over the L1-on run (%d hits, %d misses)\n", 100*hitRate, l1Hits, l1Misses)
+	fmt.Printf("  storm:    %d concurrent on a cold key -> %d backend round-trip(s)\n", stormWidth, stormReqs)
+	fmt.Printf("  reval:    %d stale refresh(es) via If-None-Match/304\n", revals)
+	fmt.Printf("  death:    mid-stream abort -> 502, zero partial bytes relayed\n")
+
+	if entry.GatewayL1HitP50Ms*10 > entry.GatewayL1ProxiedP50Ms {
+		fail(fmt.Errorf("gatewaycache bench: L1 hit p50 %.3fms is not >=10x faster than proxied p50 %.3fms",
+			entry.GatewayL1HitP50Ms, entry.GatewayL1ProxiedP50Ms))
+	}
+	if stormReqs != 1 {
+		fail(fmt.Errorf("gatewaycache bench: %d-way storm reached the backend %d times, want exactly 1", stormWidth, stormReqs))
+	}
+	if hitPassBackendReqs != 0 {
+		fail(fmt.Errorf("gatewaycache bench: warm hit pass reached the backend %d times, want 0", hitPassBackendReqs))
+	}
+
+	doc := loadKernelBench(path)
+	e := benchEntry(&doc, id)
+	// Merge: only the gateway_l1_* fields belong to this subcommand;
+	// other subsystems' results recorded under the same ID are preserved.
+	e.Date = time.Now().Format("2006-01-02")
+	e.GatewayL1HitRate = entry.GatewayL1HitRate
+	e.GatewayL1HitP50Ms = entry.GatewayL1HitP50Ms
+	e.GatewayL1HitP99Ms = entry.GatewayL1HitP99Ms
+	e.GatewayL1ProxiedP50Ms = entry.GatewayL1ProxiedP50Ms
+	e.GatewayL1ProxiedP99Ms = entry.GatewayL1ProxiedP99Ms
+	e.GatewayL1Speedup = entry.GatewayL1Speedup
+	e.GatewayL1Revalidations = entry.GatewayL1Revalidations
+	e.GatewayL1BackendReqs = entry.GatewayL1BackendReqs
+	e.GatewayL1StormWidth = entry.GatewayL1StormWidth
+	e.GatewayL1StormBackendReqs = entry.GatewayL1StormBackendReqs
+	saveKernelBench(path, &doc)
+	fmt.Printf("  wrote entry %q (%d entries total)\n\n", id, len(doc.Entries))
+
+	// Drain the backends so the process exits clean.
+	for _, srv := range srvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+}

@@ -136,6 +136,23 @@ type kernelBenchEntry struct {
 	GatewayRetries      uint64  `json:"gateway_retries,omitempty"`
 	GatewayEjections    uint64  `json:"gateway_ejections,omitempty"`
 
+	// Gateway L1 edge-cache bench (`eclipse-bench gatewaycache`): 3
+	// backends behind a 5ms simulated network gap. Records the warm-hit
+	// latency split (L1 hit from gateway memory vs proxied two-hop warm
+	// hit), the run's L1 hit rate, how many requests reached the fleet
+	// during the measured hit pass (must be 0) and during a 32-way
+	// same-key storm (must be 1), and the stale-refresh-via-304 count.
+	GatewayL1HitRate          float64 `json:"gateway_l1_hit_rate,omitempty"`
+	GatewayL1HitP50Ms         float64 `json:"gateway_l1_hit_p50_ms,omitempty"`
+	GatewayL1HitP99Ms         float64 `json:"gateway_l1_hit_p99_ms,omitempty"`
+	GatewayL1ProxiedP50Ms     float64 `json:"gateway_l1_proxied_p50_ms,omitempty"`
+	GatewayL1ProxiedP99Ms     float64 `json:"gateway_l1_proxied_p99_ms,omitempty"`
+	GatewayL1Speedup          float64 `json:"gateway_l1_hit_speedup,omitempty"`
+	GatewayL1Revalidations    uint64  `json:"gateway_l1_revalidations,omitempty"`
+	GatewayL1BackendReqs      uint64  `json:"gateway_l1_backend_requests,omitempty"`
+	GatewayL1StormWidth       int     `json:"gateway_l1_storm_width,omitempty"`
+	GatewayL1StormBackendReqs uint64  `json:"gateway_l1_storm_backend_requests,omitempty"`
+
 	XcodeSegMsPerOp    float64 `json:"transcode_seg_ms_per_op,omitempty"`
 	XcodeSeg1MsPerOp   float64 `json:"transcode_seg1_ms_per_op,omitempty"`
 	XcodeSegSpeedup    float64 `json:"transcode_seg_speedup,omitempty"`

@@ -20,6 +20,7 @@
 //	loadgen     serving-path load generation; updates BENCH_kernel.json
 //	gop         GOP-parallel transcode, segments 1 vs K; updates BENCH_kernel.json
 //	gateway     cluster gateway affinity/hedging/failover; updates BENCH_kernel.json
+//	gatewaycache  gateway L1 edge cache hit/storm/revalidation; updates BENCH_kernel.json
 //	all         everything above except the BENCH_kernel.json writers
 package main
 
@@ -41,25 +42,26 @@ func main() {
 		cmd = os.Args[1]
 	}
 	cmds := map[string]func(){
-		"fig10":      fig10,
-		"fig9":       fig9,
-		"mapping":    mapping,
-		"instance":   instance,
-		"cachesweep": cacheSweep,
-		"prefetch":   prefetchSweep,
-		"bussweep":   busSweep,
-		"schedsweep": schedSweep,
-		"coupling":   coupling,
-		"buffers":    buffers,
-		"throughput": throughput,
-		"pipelined":  pipelined,
-		"memorg":     memorg,
-		"kernel":     kernelBench,
-		"shell":      shellBench,
-		"media":      mediaBench,
-		"loadgen":    loadgenBench,
-		"gop":        gopBench,
-		"gateway":    gatewayBench,
+		"fig10":        fig10,
+		"fig9":         fig9,
+		"mapping":      mapping,
+		"instance":     instance,
+		"cachesweep":   cacheSweep,
+		"prefetch":     prefetchSweep,
+		"bussweep":     busSweep,
+		"schedsweep":   schedSweep,
+		"coupling":     coupling,
+		"buffers":      buffers,
+		"throughput":   throughput,
+		"pipelined":    pipelined,
+		"memorg":       memorg,
+		"kernel":       kernelBench,
+		"shell":        shellBench,
+		"media":        mediaBench,
+		"loadgen":      loadgenBench,
+		"gop":          gopBench,
+		"gateway":      gatewayBench,
+		"gatewaycache": gatewayCacheBench,
 	}
 	if cmd == "all" {
 		order := []string{"fig10", "fig9", "mapping", "instance", "cachesweep",

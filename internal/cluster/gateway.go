@@ -53,6 +53,23 @@ type Config struct {
 	// MaxBodyBytes caps client request bodies. Default 64 MiB.
 	MaxBodyBytes int64
 
+	// L1Bytes is the byte budget of the gateway's L1 result cache — the
+	// near tier of the L1/L2 hierarchy whose far tier is the backends'
+	// content-addressed caches. Zero or negative disables the L1 (the
+	// default for library users; cmd/eclipse-gateway enables it).
+	L1Bytes int64
+	// L1MaxObject caps how much of an upstream response body the proxy
+	// will buffer. Bodies at or under the cap are fully buffered (and
+	// L1-cacheable); larger bodies stream through without buffering.
+	// This bound applies whether or not the L1 is enabled — it is the
+	// gateway's response-side memory ceiling. Default 8 MiB.
+	L1MaxObject int64
+	// L1TTL is the default freshness window of an L1 entry; the
+	// backend's Cache-Control max-age can only shorten it. A stale
+	// entry is revalidated with If-None-Match rather than dropped.
+	// Default 10s.
+	L1TTL time.Duration
+
 	// Transport overrides the upstream round tripper (tests).
 	Transport http.RoundTripper
 }
@@ -97,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.L1MaxObject <= 0 {
+		c.L1MaxObject = 8 << 20
+	}
+	if c.L1TTL <= 0 {
+		c.L1TTL = 10 * time.Second
+	}
 	return c
 }
 
@@ -108,6 +131,7 @@ type Gateway struct {
 	backends []*Backend
 	ring     ring
 	met      *Metrics
+	l1       *l1Cache // nil when Config.L1Bytes <= 0
 	client   *http.Client
 	mux      *http.ServeMux
 
@@ -138,6 +162,9 @@ func New(cfg Config) (*Gateway, error) {
 		g.backends = append(g.backends, b)
 	}
 	g.ring = ring{backends: g.backends}
+	if cfg.L1Bytes > 0 {
+		g.l1 = newL1Cache(cfg.L1Bytes, g.met)
+	}
 	rt := cfg.Transport
 	if rt == nil {
 		rt = &http.Transport{MaxIdleConnsPerHost: 64, IdleConnTimeout: 90 * time.Second}

@@ -5,12 +5,23 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"eclipse/internal/serve"
 )
+
+// fakeBigBody is 256 KiB of deterministic bytes — large enough to
+// overflow any small per-object cap a test configures.
+func fakeBigBody() []byte {
+	b := make([]byte, 256<<10)
+	for i := range b {
+		b[i] = byte(i*7 + 13)
+	}
+	return b
+}
 
 // fakeBackend is a scriptable stand-in for an eclipse-serve instance.
 // Its mode selects the behaviour of both the /readyz probe and the
@@ -21,6 +32,10 @@ import (
 //	drain     503 + X-Eclipse-Draining + Retry-After everywhere
 //	pushback  readyz 200; media 429 with a scheduler-style Retry-After
 //	midstream readyz 200; media sends headers then aborts the connection
+//	echo      media reflects the request body (distinct keys, distinct
+//	          bytes — the L1 aliasing stress backend)
+//	big       media serves fakeBigBody deterministic bytes (over any
+//	          small per-object cap: the stream-through backend)
 type fakeBackend struct {
 	ts        *httptest.Server
 	mode      atomic.Value // string
@@ -58,7 +73,7 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		f.hits.Add(1)
 		// Consume the body like a real backend: the server's client-abort
 		// detection (background read) only arms once the body is drained.
-		io.Copy(io.Discard, r.Body)
+		reqBody, _ := io.ReadAll(r.Body)
 		if d := f.delay.Load(); d > 0 {
 			select {
 			case <-time.After(time.Duration(d)):
@@ -85,6 +100,14 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 				fl.Flush()
 			}
 			panic(http.ErrAbortHandler)
+		case "echo":
+			w.Header().Set("Cache-Control", "max-age=60")
+			w.Header().Set("Content-Length", strconv.Itoa(len(reqBody)))
+			w.Write(reqBody)
+		case "big":
+			body := fakeBigBody()
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.Write(body)
 		default:
 			fmt.Fprintf(w, "hello from %s", r.Host)
 		}

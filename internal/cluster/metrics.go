@@ -38,6 +38,23 @@ type Metrics struct {
 	BytesIn     atomic.Uint64
 	BytesOut    atomic.Uint64
 	Passthrough atomic.Uint64 // 429/503 pushback responses relayed verbatim
+
+	// L1 edge cache (cache.go). L1HitLat is a separate histogram so
+	// sub-millisecond hits never enter Latency/AttemptLat — the hedge
+	// trigger's p95 stays a proxied-work distribution by construction.
+	L1Hits          atomic.Uint64 // served from a fresh resident entry
+	L1Misses        atomic.Uint64 // no resident entry at lookup
+	L1Stale         atomic.Uint64 // resident but past freshness: revalidation candidate
+	L1Revalidations atomic.Uint64 // 304s that refreshed residency without a body
+	L1ClientNotMod  atomic.Uint64 // client If-None-Match answered 304 locally
+	L1Collapsed     atomic.Uint64 // followers served off another request's flight
+	L1Fills         atomic.Uint64 // bodies copied into the L1
+	L1Evictions     atomic.Uint64 // entries dropped for byte pressure
+	L1TooLarge      atomic.Uint64 // fills skipped: entry exceeds a shard budget
+	L1HitLat        serve.Hist    // L1 hit latency (kept out of Latency/AttemptLat)
+
+	StreamThrough   atomic.Uint64 // over-cap responses streamed without buffering
+	StreamTruncated atomic.Uint64 // stream relays that died mid-copy (connection severed)
 }
 
 // NewMetrics returns a zeroed registry stamped with the start time.
@@ -56,19 +73,41 @@ type KindSnapshot struct {
 	HedgeMs   float64 `json:"hedge_after_ms"` // current hedge trigger delay
 }
 
+// L1Snapshot is the /varz view of the gateway's edge cache.
+type L1Snapshot struct {
+	Enabled       bool    `json:"enabled"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	Entries       int     `json:"entries"`
+	BudgetBytes   int64   `json:"budget_bytes"`
+	Hits          uint64  `json:"hits_total"`
+	Misses        uint64  `json:"misses_total"`
+	Stale         uint64  `json:"stale_total"`
+	Revalidations uint64  `json:"revalidations_total"`
+	ClientNotMod  uint64  `json:"client_not_modified_total"`
+	Collapsed     uint64  `json:"collapsed_total"`
+	Fills         uint64  `json:"fills_total"`
+	Evictions     uint64  `json:"evictions_total"`
+	TooLarge      uint64  `json:"too_large_total"`
+	HitP50Ms      float64 `json:"hit_p50_ms"`
+	HitP99Ms      float64 `json:"hit_p99_ms"`
+}
+
 // Snapshot is the gateway /varz document.
 type Snapshot struct {
-	UptimeSec   float64           `json:"uptime_sec"`
-	Routable    int               `json:"routable_backends"`
-	Backends    []BackendSnapshot `json:"backends"`
-	Kinds       []KindSnapshot    `json:"kinds"`
-	RingChurn   uint64            `json:"ring_churn_total"`
-	Retries     uint64            `json:"retries_total"`
-	NoBackend   uint64            `json:"no_backend_total"`
-	MidStream   uint64            `json:"mid_stream_502_total"`
-	Passthrough uint64            `json:"pushback_passthrough_total"`
-	BytesIn     uint64            `json:"bytes_in_total"`
-	BytesOut    uint64            `json:"bytes_out_total"`
+	UptimeSec       float64           `json:"uptime_sec"`
+	Routable        int               `json:"routable_backends"`
+	Backends        []BackendSnapshot `json:"backends"`
+	Kinds           []KindSnapshot    `json:"kinds"`
+	L1              L1Snapshot        `json:"l1"`
+	RingChurn       uint64            `json:"ring_churn_total"`
+	Retries         uint64            `json:"retries_total"`
+	NoBackend       uint64            `json:"no_backend_total"`
+	MidStream       uint64            `json:"mid_stream_502_total"`
+	Passthrough     uint64            `json:"pushback_passthrough_total"`
+	StreamThrough   uint64            `json:"stream_through_total"`
+	StreamTruncated uint64            `json:"stream_truncated_total"`
+	BytesIn         uint64            `json:"bytes_in_total"`
+	BytesOut        uint64            `json:"bytes_out_total"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -119,12 +158,44 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 	p("# HELP eclipse_gateway_pushback_passthrough_total 429/503 pushback responses relayed verbatim after retries were exhausted.\n")
 	p("# TYPE eclipse_gateway_pushback_passthrough_total counter\n")
 	p("eclipse_gateway_pushback_passthrough_total %d\n", m.Passthrough.Load())
+	p("# HELP eclipse_gateway_stream_through_total Over-cap upstream responses streamed to the client without buffering.\n")
+	p("# TYPE eclipse_gateway_stream_through_total counter\n")
+	p("eclipse_gateway_stream_through_total %d\n", m.StreamThrough.Load())
+	p("# HELP eclipse_gateway_stream_truncated_total Streamed relays that died mid-copy (client connection severed).\n")
+	p("# TYPE eclipse_gateway_stream_truncated_total counter\n")
+	p("eclipse_gateway_stream_truncated_total %d\n", m.StreamTruncated.Load())
 	p("# HELP eclipse_gateway_bytes_in_total Request payload bytes accepted.\n")
 	p("# TYPE eclipse_gateway_bytes_in_total counter\n")
 	p("eclipse_gateway_bytes_in_total %d\n", m.BytesIn.Load())
 	p("# HELP eclipse_gateway_bytes_out_total Response payload bytes sent.\n")
 	p("# TYPE eclipse_gateway_bytes_out_total counter\n")
 	p("eclipse_gateway_bytes_out_total %d\n", m.BytesOut.Load())
+
+	for _, fam := range []struct {
+		name, help string
+		val        uint64
+	}{
+		{"l1_hits_total", "Requests served from a fresh resident L1 entry.", m.L1Hits.Load()},
+		{"l1_misses_total", "Requests with no resident L1 entry at lookup.", m.L1Misses.Load()},
+		{"l1_stale_total", "L1 lookups that found an entry past its freshness window.", m.L1Stale.Load()},
+		{"l1_revalidations_total", "Stale entries refreshed by an upstream 304 without a body transfer.", m.L1Revalidations.Load()},
+		{"l1_client_not_modified_total", "Client If-None-Match requests answered 304 at the gateway.", m.L1ClientNotMod.Load()},
+		{"l1_collapsed_total", "Requests served off another request's in-flight fill.", m.L1Collapsed.Load()},
+		{"l1_fills_total", "Response bodies copied into the L1.", m.L1Fills.Load()},
+		{"l1_evictions_total", "L1 entries evicted for byte pressure.", m.L1Evictions.Load()},
+		{"l1_too_large_total", "L1 fills skipped because the entry exceeds a shard budget.", m.L1TooLarge.Load()},
+	} {
+		p("# HELP eclipse_gateway_%s %s\n", fam.name, fam.help)
+		p("# TYPE eclipse_gateway_%s counter\n", fam.name)
+		p("eclipse_gateway_%s %d\n", fam.name, fam.val)
+	}
+	p("# HELP eclipse_gateway_l1_resident_bytes Bytes currently resident in the L1 edge cache.\n")
+	p("# TYPE eclipse_gateway_l1_resident_bytes gauge\n")
+	var l1Resident int64
+	if g.l1 != nil {
+		l1Resident = g.l1.ResidentBytes()
+	}
+	p("eclipse_gateway_l1_resident_bytes %d\n", l1Resident)
 
 	p("# HELP eclipse_gateway_backend_state Backend routability (1 = in the named state).\n")
 	p("# TYPE eclipse_gateway_backend_state gauge\n")
@@ -170,6 +241,19 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		p("eclipse_gateway_latency_seconds_sum{kind=%q} %g\n", k.String(), float64(snap.SumNs)/1e9)
 		p("eclipse_gateway_latency_seconds_count{kind=%q} %d\n", k.String(), snap.Count)
 	}
+
+	p("# HELP eclipse_gateway_l1_hit_latency_seconds L1 hit latency (excluded from the proxied latency and hedge-trigger histograms).\n")
+	p("# TYPE eclipse_gateway_l1_hit_latency_seconds histogram\n")
+	hsnap := m.L1HitLat.Snapshot()
+	var hcum uint64
+	for i := range hsnap.Buckets {
+		hcum += hsnap.Buckets[i]
+		le := float64(serve.BucketUpperUS(i)) / 1e6
+		p("eclipse_gateway_l1_hit_latency_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", le), hcum)
+	}
+	p("eclipse_gateway_l1_hit_latency_seconds_bucket{le=\"+Inf\"} %d\n", hsnap.Count)
+	p("eclipse_gateway_l1_hit_latency_seconds_sum %g\n", float64(hsnap.SumNs)/1e9)
+	p("eclipse_gateway_l1_hit_latency_seconds_count %d\n", hsnap.Count)
 }
 
 // varz assembles the JSON status document.
@@ -193,17 +277,39 @@ func (g *Gateway) varz() Snapshot {
 	for _, b := range g.backends {
 		bs = append(bs, b.Snapshot())
 	}
+	l1 := L1Snapshot{
+		Hits:          m.L1Hits.Load(),
+		Misses:        m.L1Misses.Load(),
+		Stale:         m.L1Stale.Load(),
+		Revalidations: m.L1Revalidations.Load(),
+		ClientNotMod:  m.L1ClientNotMod.Load(),
+		Collapsed:     m.L1Collapsed.Load(),
+		Fills:         m.L1Fills.Load(),
+		Evictions:     m.L1Evictions.Load(),
+		TooLarge:      m.L1TooLarge.Load(),
+		HitP50Ms:      ms(m.L1HitLat.Quantile(0.50)),
+		HitP99Ms:      ms(m.L1HitLat.Quantile(0.99)),
+	}
+	if g.l1 != nil {
+		l1.Enabled = true
+		l1.ResidentBytes = g.l1.ResidentBytes()
+		l1.Entries = g.l1.Len()
+		l1.BudgetBytes = g.l1.budget
+	}
 	return Snapshot{
-		UptimeSec:   time.Since(m.Start).Seconds(),
-		Routable:    g.ring.routable(),
-		Backends:    bs,
-		Kinds:       ks,
-		RingChurn:   m.RingChurn.Load(),
-		Retries:     m.Retries.Load(),
-		NoBackend:   m.NoBackend.Load(),
-		MidStream:   m.MidStream.Load(),
-		Passthrough: m.Passthrough.Load(),
-		BytesIn:     m.BytesIn.Load(),
-		BytesOut:    m.BytesOut.Load(),
+		UptimeSec:       time.Since(m.Start).Seconds(),
+		Routable:        g.ring.routable(),
+		Backends:        bs,
+		Kinds:           ks,
+		L1:              l1,
+		RingChurn:       m.RingChurn.Load(),
+		Retries:         m.Retries.Load(),
+		NoBackend:       m.NoBackend.Load(),
+		MidStream:       m.MidStream.Load(),
+		Passthrough:     m.Passthrough.Load(),
+		StreamThrough:   m.StreamThrough.Load(),
+		StreamTruncated: m.StreamTruncated.Load(),
+		BytesIn:         m.BytesIn.Load(),
+		BytesOut:        m.BytesOut.Load(),
 	}
 }

@@ -26,6 +26,12 @@ type CacheKey [sha256.Size]byte
 // even needing a cache entry.
 func (k CacheKey) ETag() string { return `"` + hex.EncodeToString(k[:]) + `"` }
 
+// ETagMatches reports whether an If-None-Match header value matches the
+// key's entity tag. Exported because the gateway tier answers client
+// revalidations locally and revalidates its own L1 entries against the
+// backends using the same content-address tags (internal/cluster).
+func ETagMatches(header string, k CacheKey) bool { return etagMatches(header, k) }
+
 // etagMatches reports whether an If-None-Match header value matches the
 // key's entity tag: a comma-separated list of (possibly weak) tags or
 // the wildcard "*".

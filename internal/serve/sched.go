@@ -43,6 +43,12 @@ type Config struct {
 	// CacheBytes is the result cache's total byte budget. 0 selects the
 	// default (256 MiB); negative disables the cache entirely.
 	CacheBytes int64
+	// CacheMaxAge is the freshness window advertised on cached responses
+	// via Cache-Control max-age: how long a downstream tier (the gateway
+	// L1) may serve the bytes without an If-None-Match coherency check.
+	// Content-addressed bytes never change, so the window bounds staleness
+	// of residency (liveness, eviction), not of content. Default 60s.
+	CacheMaxAge time.Duration
 	// TranscodeSegments is the default segment fan-out for transcode
 	// jobs: clips long enough and with usable closed-GOP cuts run up to
 	// this many independent decode→encode pipelines in parallel and the
@@ -108,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.CacheMaxAge <= 0 {
+		c.CacheMaxAge = 60 * time.Second
 	}
 	if c.TranscodeSegments <= 0 {
 		c.TranscodeSegments = runtime.NumCPU()
